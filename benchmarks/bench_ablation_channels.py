@@ -1,0 +1,11 @@
+"""A9 — channel-count sweep on the channel-parallel controller."""
+
+
+def test_ablation_channels(experiment):
+    report = experiment("ablation-channels")
+    data = report.data
+    counts = sorted(data)
+    means = [data[c]["mean_us"] for c in counts]
+    # queueing delay falls as channels multiply (monotone within noise)
+    assert means[-1] < means[0]
+    assert all(b <= a * 1.15 for a, b in zip(means, means[1:]))

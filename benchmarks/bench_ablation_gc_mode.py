@@ -1,0 +1,11 @@
+"""A5 — blocking vs semi-preemptive GC (related-work mechanism)."""
+
+
+def test_ablation_gc_mode(experiment):
+    report = experiment("ablation-gc-mode")
+    for workload, row in report.data.items():
+        # preemption shrinks the foreground tail...
+        assert row["preemptive_p99_us"] < row["blocking_p99_us"], workload
+        # ...without materially changing the reclamation volume
+        ratio = row["preemptive_erases"] / max(row["blocking_erases"], 1)
+        assert 0.7 < ratio < 1.3, workload

@@ -1,0 +1,14 @@
+"""A3 — hash-latency sweep: when does inline dedup stop hurting?"""
+
+
+def test_ablation_hash_latency(experiment):
+    report = experiment("ablation-hash-latency")
+    data = report.data
+    # free hashing: schemes tie (within queueing noise)
+    assert abs(data[0.0] - 1.0) < 0.1
+    # overhead grows monotonically with hash latency
+    latencies = sorted(data)
+    normalized = [data[h] for h in latencies]
+    assert all(b >= a - 0.02 for a, b in zip(normalized, normalized[1:]))
+    # at the paper's 14 us SHA latency, inline dedup clearly hurts
+    assert data[14.0] > 1.3

@@ -1,0 +1,11 @@
+"""A8 — hot-first victim preference on top of each base policy."""
+
+
+def test_ablation_hot_victims(experiment):
+    report = experiment("ablation-hot-victims")
+    for policy, row in report.data.items():
+        # preferring hot victims never migrates more pages
+        assert row["hot_first_migrated"] <= row["plain_migrated"] * 1.1, policy
+    # cost-benefit (age-weighted toward cold) gains the most
+    cb = report.data["cost-benefit"]
+    assert cb["hot_first_migrated"] <= cb["plain_migrated"]

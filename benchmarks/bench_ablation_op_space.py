@@ -1,0 +1,12 @@
+"""A4 — over-provisioning sensitivity of the CAGC win."""
+
+
+def test_ablation_op_space(experiment):
+    report = experiment("ablation-op-space")
+    for op_ratio, row in report.data.items():
+        assert row["cagc"] < row["baseline"], op_ratio
+        assert row["erase_reduction_pct"] > 8.0, op_ratio
+    # more OP relaxes GC pressure: baseline erase counts do not grow
+    ops = sorted(report.data)
+    baselines = [report.data[o]["baseline"] for o in ops]
+    assert baselines[0] >= baselines[-1]

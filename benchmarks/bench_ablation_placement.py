@@ -1,0 +1,14 @@
+"""A2 — dedup-only CAGC vs full CAGC (hot/cold placement ablation)."""
+
+
+def test_ablation_placement(experiment):
+    report = experiment("ablation-placement")
+    for workload, row in report.data.items():
+        # GC-time dedup alone already provides the bulk of the win...
+        assert row["dedup_only_migration_cut_pct"] > 25.0, workload
+        # ...and adding placement keeps the result in the same band
+        # (within a few points either way; see EXPERIMENTS.md).
+        delta = abs(
+            row["full_migration_cut_pct"] - row["dedup_only_migration_cut_pct"]
+        )
+        assert delta < 15.0, workload

@@ -1,0 +1,15 @@
+"""A6 — LBA-based vs content-based hot/cold separation."""
+
+
+def test_ablation_separation_signal(experiment):
+    report = experiment("ablation-separation")
+    data = report.data
+    for workload, row in data.items():
+        # both separations beat the plain baseline on migrations
+        assert row["lba_migration_cut_pct"] > 0.0, workload
+        assert row["cagc_migration_cut_pct"] > 0.0, workload
+    # content locality wins where redundancy is high (mail, 89% dedup)
+    assert (
+        data["mail"]["cagc_migration_cut_pct"]
+        > data["mail"]["lba_migration_cut_pct"] + 10.0
+    )

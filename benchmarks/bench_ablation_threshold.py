@@ -1,0 +1,8 @@
+"""A1 — cold-region refcount threshold sweep (beyond the paper)."""
+
+
+def test_ablation_cold_threshold(experiment):
+    report = experiment("ablation-threshold")
+    for threshold, row in report.data.items():
+        assert row["erase_reduction_pct"] > 10.0, threshold
+        assert row["migration_reduction_pct"] > 50.0, threshold

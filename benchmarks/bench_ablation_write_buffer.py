@@ -1,0 +1,14 @@
+"""A7 — DRAM write-buffer sweep in front of CAGC."""
+
+
+def test_ablation_write_buffer(experiment):
+    report = experiment("ablation-write-buffer")
+    data = report.data
+    # flash write traffic is monotone non-increasing in buffer size
+    sizes = sorted(data)
+    programmed = [data[s]["pages_programmed"] for s in sizes]
+    assert all(b <= a for a, b in zip(programmed, programmed[1:]))
+    # a large buffer absorbs a visible share of the write traffic
+    assert data[sizes[-1]]["absorption"] > 0.05
+    # fewer flash writes -> no more erases than the bufferless run
+    assert data[sizes[-1]]["blocks_erased"] <= data[0]["blocks_erased"]

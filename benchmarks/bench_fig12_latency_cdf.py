@@ -1,0 +1,17 @@
+"""Fig 12 — response-time CDFs: CAGC stochastically dominates Baseline."""
+
+
+def test_fig12_latency_cdf(experiment):
+    report = experiment("fig12")
+    for workload in ("homes", "web-vm", "mail"):
+        row = report.data[workload]
+        # CAGC's CDF sits at or above Baseline's on (almost) all of the
+        # evaluation grid
+        assert row["dominance_fraction"] >= 0.9, workload
+        # tail quantiles shrink
+        assert (
+            row["cagc_percentiles_us"]["p99"] <= row["baseline_percentiles_us"]["p99"]
+        ), workload
+        assert (
+            row["cagc_percentiles_us"]["p80"] <= row["baseline_percentiles_us"]["p80"]
+        ), workload

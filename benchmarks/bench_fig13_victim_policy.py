@@ -1,0 +1,11 @@
+"""Fig 13 — CAGC's win persists under every victim-selection policy."""
+
+
+def test_fig13_victim_policy_sensitivity(experiment):
+    report = experiment("fig13")
+    data = report.data
+    for workload in ("homes", "web-vm", "mail"):
+        for policy in ("random", "greedy", "cost-benefit"):
+            assert data["blocks_erased"][workload][policy] > 0.0, (workload, policy)
+            assert data["pages_migrated"][workload][policy] > 15.0, (workload, policy)
+            assert data["response"][workload][policy] > 0.0, (workload, policy)

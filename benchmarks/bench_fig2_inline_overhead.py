@@ -1,0 +1,18 @@
+"""Fig 2 — inline dedup degrades a GC-quiet ULL SSD.
+
+Shape: Inline-Dedupe's normalized response is > 1 on every workload,
+worst on the lowest-dedup workload (Homes), mildest on Mail.
+"""
+
+
+def test_fig2_inline_dedup_overhead(experiment):
+    report = experiment("fig2")
+    data = report.data
+    for workload in ("homes", "webmail", "mail"):
+        assert data[workload]["normalized"] > 1.1, workload
+        # the motivation experiment runs GC-quiet by construction
+        assert data[workload]["gc_bursts_baseline"] == 0
+    # overhead ordering follows (inverse) dedup ratio
+    assert data["homes"]["normalized"] >= data["webmail"]["normalized"]
+    assert data["webmail"]["normalized"] >= data["mail"]["normalized"] - 0.05
+    assert data["max_increase_pct"] > 40.0

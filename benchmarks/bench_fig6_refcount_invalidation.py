@@ -1,0 +1,10 @@
+"""Fig 6 — invalid pages come overwhelmingly from refcount-1 pages."""
+
+
+def test_fig6_refcount_invalidation_distribution(experiment):
+    report = experiment("fig6")
+    for workload in ("homes", "web-vm", "mail"):
+        fractions = report.data[workload]
+        assert fractions["1"] > 0.8, workload          # paper: >80 %
+        assert fractions[">3"] < 0.05, workload        # paper: <1 %
+        assert fractions["1"] >= fractions["2"] >= fractions["3"]

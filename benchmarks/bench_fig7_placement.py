@@ -1,0 +1,13 @@
+"""Fig 7 — refcount placement separates regions measurably."""
+
+
+def test_fig7_placement_separation(experiment):
+    report = experiment("fig7")
+    hot = report.data["hot"]
+    cold = report.data["cold"]
+    # cold region holds the shared pages...
+    assert cold["mean_refcount"] >= 2.0
+    # ...hot region the singletons
+    assert hot["mean_refcount"] < cold["mean_refcount"]
+    # and cold blocks barely invalidate (the III-C payoff)
+    assert cold["invalid_density"] < hot["invalid_density"]

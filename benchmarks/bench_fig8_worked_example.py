@@ -1,0 +1,16 @@
+"""Fig 8 — the four-file worked example, exact page-write counts."""
+
+
+def test_fig8_worked_example(experiment):
+    report = experiment("fig8")
+    trad = report.data["traditional"]
+    cagc = report.data["CAGC"]
+    # the paper's headline numbers: 12 vs 7 GC page writes
+    assert trad["gc_page_writes"] == 12
+    assert cagc["gc_page_writes"] == 7
+    # CAGC stores each unique content once (A..G)
+    assert cagc["physical_pages_after_gc"] == 7
+    assert trad["physical_pages_after_gc"] == 12
+    # deleting files 2 & 4 frees E,F,G under CAGC (B survives via refs)
+    assert cagc["pages_freed_by_delete"] == 3
+    assert trad["pages_freed_by_delete"] == 5

@@ -1,0 +1,20 @@
+"""Fig 9 — flash blocks erased, Baseline vs CAGC.
+
+Shape assertions: CAGC erases fewer blocks on every workload and the
+reduction grows with the workload's dedup ratio (Homes < Web-vm < Mail),
+the ordering of the paper's 23.3 % / 48.3 % / 86.6 %.
+"""
+
+
+def test_fig9_blocks_erased(experiment):
+    report = experiment("fig9")
+    data = report.data
+    for workload in ("homes", "web-vm", "mail"):
+        assert data[workload]["cagc"] < data[workload]["baseline"], workload
+        assert data[workload]["reduction_pct"] > 10.0, workload
+    assert (
+        data["homes"]["reduction_pct"]
+        <= data["web-vm"]["reduction_pct"] + 3.0
+        <= data["mail"]["reduction_pct"] + 6.0
+    )
+    assert data["mail"]["reduction_pct"] > data["homes"]["reduction_pct"]

@@ -1,0 +1,34 @@
+"""Micro-benchmark: simulator replay throughput.
+
+Not a paper figure — tracks the performance of the hot loop (per-page
+FTL work during trace replay) so regressions in the substrate show up
+in benchmark history.  The guides' rule: no optimization without
+measurement.
+"""
+
+import pytest
+
+from repro.config import small_config
+from repro.device.ssd import run_trace
+from repro.schemes import make_scheme
+from repro.workloads.fiu import build_fiu_trace
+
+CFG = small_config(blocks=128, pages_per_block=32)
+TRACE = build_fiu_trace("mail", CFG, n_requests=5000)
+
+
+@pytest.mark.parametrize("scheme_name", ["baseline", "inline-dedupe", "cagc"])
+def test_replay_throughput(benchmark, scheme_name):
+    def replay():
+        return run_trace(make_scheme(scheme_name, CFG), TRACE)
+
+    result = benchmark.pedantic(replay, rounds=3, iterations=1)
+    assert result.latency.count == len(TRACE)
+
+
+def test_trace_generation_throughput(benchmark):
+    def generate():
+        return build_fiu_trace("web-vm", CFG, n_requests=20_000)
+
+    trace = benchmark.pedantic(generate, rounds=3, iterations=1)
+    assert len(trace) == 20_000

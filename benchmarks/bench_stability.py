@@ -1,0 +1,9 @@
+"""Seed-stability of the headline reductions (Figs 9-11)."""
+
+
+def test_stability_across_seeds(experiment):
+    report = experiment("stability", scale="quick")
+    for workload, metrics in report.data.items():
+        for metric, row in metrics.items():
+            assert all(r > 0.0 for r in row["per_seed"]), (workload, metric)
+            assert row["mean_pct"] > 5.0, (workload, metric)

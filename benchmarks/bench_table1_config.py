@@ -1,0 +1,6 @@
+"""Table I — device configuration check."""
+
+
+def test_table1_configuration(experiment):
+    report = experiment("table1")
+    assert report.data["matches"]

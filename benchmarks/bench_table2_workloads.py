@@ -1,0 +1,17 @@
+"""Table II — synthetic workload characteristics vs the paper."""
+
+import pytest
+
+
+def test_table2_workload_characteristics(experiment):
+    report = experiment("table2")
+    targets = {
+        "mail": (0.698, 0.893, 14.8),
+        "homes": (0.805, 0.300, 13.1),
+        "web-vm": (0.785, 0.493, 40.8),
+    }
+    for workload, (write_ratio, dedup_ratio, req_kb) in targets.items():
+        measured = report.data[workload]
+        assert measured["write_ratio"] == pytest.approx(write_ratio, abs=0.03)
+        assert measured["dedup_ratio"] == pytest.approx(dedup_ratio, abs=0.08)
+        assert measured["avg_req_kb"] == pytest.approx(req_kb, rel=0.15)

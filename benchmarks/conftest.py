@@ -1,0 +1,31 @@
+"""Benchmark-suite helpers.
+
+Each benchmark regenerates one paper table/figure at the ``bench``
+scale, prints the paper-vs-measured report, and asserts the *shape* of
+the result (who wins, ordering, rough factors).  Timings reported by
+pytest-benchmark measure the full experiment (trace generation +
+simulation); experiments sharing memoized runs (figs 9-12) are cheap
+after the first.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import run_experiment
+
+
+@pytest.fixture
+def experiment(benchmark):
+    """Run an experiment once under the benchmark timer and print it."""
+
+    def runner(experiment_id: str, scale: str = "bench"):
+        report = benchmark.pedantic(
+            run_experiment, args=(experiment_id,), kwargs={"scale": scale},
+            rounds=1, iterations=1,
+        )
+        print()
+        print(report)
+        return report
+
+    return runner

@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""GC pressure over time: free space and reclamation activity.
+
+Replays the Mail workload under Baseline and CAGC and renders the
+device's free-space fraction and cumulative GC activity as text
+timelines — showing *when* pressure builds, how the watermark regulates
+it, and how CAGC's dedup stretches the interval between GC bursts.
+
+Run:  python examples/gc_timeline.py
+"""
+
+import numpy as np
+
+from repro import build_fiu_trace, make_scheme, small_config
+from repro.device.ssd import SSD
+
+BARS = " ▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: np.ndarray, lo: float, hi: float) -> str:
+    if values.size == 0:
+        return "(no samples)"
+    span = max(hi - lo, 1e-12)
+    idx = np.clip(((values - lo) / span * (len(BARS) - 1)).astype(int), 0, len(BARS) - 1)
+    return "".join(BARS[i] for i in idx)
+
+
+def main() -> None:
+    config = small_config(blocks=256, pages_per_block=64, channels=4)
+    trace = build_fiu_trace("mail", config, n_requests=0, fill_factor=3.0)
+    print(f"replaying {len(trace):,} mail requests on a 64 MB device\n")
+
+    for name in ("baseline", "cagc"):
+        ssd = SSD(make_scheme(name, config))
+        result = ssd.replay(trace)
+        _, free = ssd.timeline.resample("free_fraction", points=72)
+        _, erased = ssd.timeline.resample("blocks_erased", points=72)
+        print(f"[{name}]")
+        print(f"  free space  |{sparkline(free, 0.0, 0.5)}|  (0..50%)")
+        print(f"  erases      |{sparkline(erased, 0.0, float(erased.max() or 1))}|  "
+              f"(cumulative, final={result.blocks_erased})")
+        first_gc_us = ssd.timeline.series("free_fraction")[0]
+        print(
+            f"  first GC at {first_gc_us[0] / 1e6:.2f}s simulated, "
+            f"{result.gc.gc_invocations} bursts, "
+            f"GC busy {result.gc.gc_busy_us / 1e6:.2f}s "
+            f"of {result.simulated_us / 1e6:.2f}s total\n"
+        )
+    print(
+        "reading the timelines: free space saw-tooths around the 20%\n"
+        "watermark once the drive fills; CAGC's curve stays higher and its\n"
+        "erase ramp is flatter because GC-time dedup frees more per burst."
+    )
+
+
+if __name__ == "__main__":
+    main()

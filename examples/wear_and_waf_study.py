@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Endurance study: write amplification and wear under each scheme.
+
+The paper argues CAGC improves SSD *reliability* by erasing fewer
+blocks.  This example quantifies that: for each scheme and victim
+policy it reports write amplification (WAF), total erases, the maximum
+per-block erase count, and the evenness of wear (coefficient of
+variation) — the quantities an endurance model would consume.
+
+Run:  python examples/wear_and_waf_study.py
+"""
+
+from repro import build_fiu_trace, make_scheme, run_trace, small_config
+from repro.ftl.gc import make_policy
+from repro.metrics.report import format_table
+
+POLICIES = ("random", "greedy", "cost-benefit")
+
+
+def main() -> None:
+    config = small_config(blocks=256, pages_per_block=64, channels=4)
+    trace = build_fiu_trace("web-vm", config, n_requests=0, fill_factor=3.0)
+    stats = trace.stats()
+    print(
+        f"workload web-vm: {stats.written_pages:,} pages written "
+        f"({stats.dedup_ratio:.0%} duplicate content)\n"
+    )
+
+    rows = []
+    for policy_name in POLICIES:
+        for scheme_name in ("baseline", "cagc"):
+            scheme = make_scheme(scheme_name, config, policy=make_policy(policy_name))
+            result = run_trace(scheme, trace)
+            wear = result.wear
+            rows.append(
+                (
+                    policy_name,
+                    scheme_name,
+                    f"{result.write_amplification():.2f}",
+                    wear.total_erases,
+                    wear.max_erase,
+                    f"{wear.cov:.2f}",
+                )
+            )
+    print(
+        format_table(
+            ("Policy", "Scheme", "WAF", "Total erases", "Max erase/block", "Wear CoV"),
+            rows,
+            title="Write amplification and wear (lower is better)",
+        )
+    )
+    print(
+        "\nCAGC lowers total erases under every policy — fewer program/erase\n"
+        "cycles means longer flash life.  The cost-benefit policy trades a\n"
+        "few extra migrations for more even wear (lower CoV) than greedy."
+    )
+
+
+if __name__ == "__main__":
+    main()

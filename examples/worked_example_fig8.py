@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""The paper's Fig 8 worked example, narrated step by step.
+
+Four files share content pages (File1 = A B C D, File2 = E B F,
+File3 = D A B, File4 = B G).  We write them, force a space-pressure
+compaction GC, then delete Files 2 and 4 — once under traditional GC
+and once under CAGC — and show where the 12-vs-7 page-write gap and the
+post-delete space advantage come from.
+
+Run:  python examples/worked_example_fig8.py
+"""
+
+from repro.config import GeometryConfig, SSDConfig
+from repro.experiments.fig8_example import FIG8_FILES, run_scenario
+from repro.schemes import make_scheme
+from repro.workloads.filemodel import FileStore
+
+
+def show_files() -> None:
+    print("files to write (letters are page contents):")
+    for name, pages in FIG8_FILES.items():
+        print(f"  {name}: {' '.join(pages)}")
+    store = FileStore()
+    for name, pages in FIG8_FILES.items():
+        store.write_file(name, pages)
+    print(
+        f"  -> {store.logical_pages_in_use()} logical pages, "
+        f"{store.unique_contents()} unique contents\n"
+    )
+
+
+def narrate(scheme_name: str, label: str) -> dict:
+    result = run_scenario(scheme_name)
+    print(f"{label}:")
+    print(
+        f"  GC migration writes : {result['gc_page_writes']}"
+        + (f"  (+{result['promotion_copies']} cold-region promotions)"
+           if result["promotion_copies"] else "")
+    )
+    print(f"  blocks erased       : {result['gc_blocks_erased']}")
+    print(f"  live physical pages : {result['physical_pages_after_gc']} after GC")
+    print(
+        f"  delete files 2 & 4  : frees {result['pages_freed_by_delete']} pages "
+        f"-> {result['physical_pages_after_delete']} live"
+    )
+    print()
+    return result
+
+
+def main() -> None:
+    show_files()
+    trad = narrate("baseline", "Traditional GC (content-blind)")
+    cagc = narrate("cagc", "CAGC (dedup inside GC + refcount placement)")
+    saved = trad["gc_page_writes"] - cagc["gc_page_writes"]
+    print(
+        f"CAGC wrote {saved} fewer pages during GC (paper: 12 vs 7) because "
+        "every duplicate of A, B and D was resolved by a fingerprint hit\n"
+        "instead of a flash program; after deletion, shared page B survives "
+        "via its remaining references instead of being stored twice."
+    )
+    # show the dedup state CAGC built during GC
+    config = SSDConfig(
+        geometry=GeometryConfig(channels=1, pages_per_block=4, blocks=16),
+        cold_region_ratio=0.5,
+    )
+    scheme = make_scheme("cagc", config)
+    store = FileStore()
+    for name, pages in FIG8_FILES.items():
+        req = store.write_file(name, pages)
+        scheme.write_request(req.lpn, req.fingerprints, 0.0)
+    print(
+        f"\nbefore GC: {len(scheme.page_fp)} physical pages for "
+        f"{scheme.live_logical_pages()} logical pages (duplicates coexist; "
+        "the fingerprint index is still empty: "
+        f"{len(scheme.index)} entries)"
+    )
+
+
+if __name__ == "__main__":
+    main()

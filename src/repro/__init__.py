@@ -1,0 +1,85 @@
+"""CAGC reproduction: content-aware garbage collection for ULL SSDs.
+
+Public API tour
+---------------
+
+Configuration (Table I)::
+
+    from repro import SSDConfig, paper_config, small_config
+
+Schemes (the paper's three bars)::
+
+    from repro import BaselineScheme, InlineDedupeScheme, CAGCScheme, make_scheme
+
+Workloads (Table II presets + synthetic generator)::
+
+    from repro import build_fiu_trace, TraceSpec, generate_trace
+
+Running::
+
+    from repro import run_trace
+    result = run_trace(make_scheme("cagc", small_config()), trace)
+    print(result.blocks_erased, result.latency.mean_us)
+
+Experiments (one per paper table/figure)::
+
+    from repro.experiments import run_experiment
+    report = run_experiment("fig9")
+"""
+
+from repro.config import (
+    GeometryConfig,
+    SSDConfig,
+    TimingConfig,
+    paper_config,
+    paper_geometry,
+    small_config,
+)
+from repro.core.cagc import CAGCScheme
+from repro.core.pipeline import GCPipeline
+from repro.core.placement import PlacementPolicy
+from repro.device.ssd import SSD, RunResult, run_trace
+from repro.device.parallel import ParallelSSD
+from repro.ftl.gc import make_policy
+from repro.schemes import BaselineScheme, InlineDedupeScheme, make_scheme
+from repro.workloads import (
+    FIU_PRESETS,
+    FileModelTrace,
+    IORequest,
+    OpKind,
+    Trace,
+    TraceSpec,
+    build_fiu_trace,
+    generate_trace,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "GeometryConfig",
+    "SSDConfig",
+    "TimingConfig",
+    "paper_config",
+    "paper_geometry",
+    "small_config",
+    "CAGCScheme",
+    "GCPipeline",
+    "PlacementPolicy",
+    "SSD",
+    "ParallelSSD",
+    "RunResult",
+    "run_trace",
+    "make_policy",
+    "BaselineScheme",
+    "InlineDedupeScheme",
+    "make_scheme",
+    "FIU_PRESETS",
+    "FileModelTrace",
+    "IORequest",
+    "OpKind",
+    "Trace",
+    "TraceSpec",
+    "build_fiu_trace",
+    "generate_trace",
+    "__version__",
+]

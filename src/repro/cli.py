@@ -1,0 +1,287 @@
+"""Command-line entry point.
+
+Examples::
+
+    cagc-repro list
+    cagc-repro run fig9
+    cagc-repro run all --scale full
+    cagc-repro trace-gen --preset mail --requests 20000 --out mail.csv
+    cagc-repro trace-info mail.csv
+    cagc-repro simulate --scheme cagc --preset mail --blocks 256
+    cagc-repro simulate --scheme baseline --trace mail.csv --policy cost-benefit
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+from typing import List, Optional
+
+from repro.config import GeometryConfig, SSDConfig
+from repro.device.ssd import run_trace
+from repro.experiments import EXPERIMENTS, run_experiment
+from repro.ftl.gc import POLICIES, make_policy
+from repro.metrics.report import format_table
+from repro.schemes import make_scheme
+from repro.workloads.analysis import profile_trace, refcount_histogram
+from repro.workloads.fiu import FIU_PRESETS, build_fiu_trace
+from repro.workloads.fiu_format import dump_fiu_trace, load_fiu_trace
+from repro.workloads.trace import Trace
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="cagc-repro",
+        description="Reproduce the CAGC paper's tables and figures",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list experiment ids")
+
+    run_p = sub.add_parser("run", help="run one experiment (or 'all')")
+    run_p.add_argument("experiment", help="experiment id (see 'list') or 'all'")
+    run_p.add_argument(
+        "--scale",
+        default="bench",
+        choices=("quick", "bench", "full"),
+        help="device/trace sizing (default: bench)",
+    )
+
+    gen_p = sub.add_parser("trace-gen", help="generate a synthetic FIU-like trace")
+    gen_p.add_argument("--preset", default="mail", choices=sorted(FIU_PRESETS))
+    gen_p.add_argument("--requests", type=int, default=20_000)
+    gen_p.add_argument("--blocks", type=int, default=256, help="device blocks the trace is sized to")
+    gen_p.add_argument("--pages-per-block", type=int, default=64)
+    gen_p.add_argument("--seed", type=int, default=None)
+    gen_p.add_argument("--out", required=True, help="output path")
+    gen_p.add_argument(
+        "--format", default="csv", choices=("csv", "fiu"), help="output format"
+    )
+
+    info_p = sub.add_parser("trace-info", help="analyze a trace file")
+    info_p.add_argument("trace", help="trace path (.csv from trace-gen, or FIU format)")
+    info_p.add_argument(
+        "--format", default=None, choices=(None, "csv", "fiu"), help="force input format"
+    )
+
+    sim_p = sub.add_parser("simulate", help="replay a workload under one scheme")
+    sim_p.add_argument(
+        "--scheme",
+        default="cagc",
+        choices=("baseline", "inline-dedupe", "cagc", "lba-hotcold"),
+    )
+    sim_p.add_argument("--preset", default="mail", choices=sorted(FIU_PRESETS))
+    sim_p.add_argument("--trace", default=None, help="replay a trace file instead of a preset")
+    sim_p.add_argument("--policy", default="greedy", choices=sorted(POLICIES))
+    sim_p.add_argument("--blocks", type=int, default=256)
+    sim_p.add_argument("--pages-per-block", type=int, default=64)
+    sim_p.add_argument("--channels", type=int, default=4)
+    sim_p.add_argument("--fill-factor", type=float, default=3.0)
+    sim_p.add_argument("--gc-mode", default="blocking", choices=("blocking", "preemptive"))
+    sim_p.add_argument("--wear-aware", action="store_true")
+    sim_p.add_argument(
+        "--device",
+        default="serial",
+        choices=("serial", "parallel"),
+        help="serial: single-queue FlashSim model; parallel: per-channel queues",
+    )
+    sim_p.add_argument(
+        "--write-buffer", type=int, default=0, metavar="PAGES",
+        help="DRAM write-back buffer size in pages (serial device only)",
+    )
+
+    cmp_p = sub.add_parser(
+        "compare", help="run every scheme on one workload and tabulate"
+    )
+    cmp_p.add_argument("--preset", default="mail", choices=sorted(FIU_PRESETS))
+    cmp_p.add_argument("--policy", default="greedy", choices=sorted(POLICIES))
+    cmp_p.add_argument("--blocks", type=int, default=256)
+    cmp_p.add_argument("--pages-per-block", type=int, default=64)
+    cmp_p.add_argument("--fill-factor", type=float, default=3.0)
+    return parser
+
+
+def _load_trace(path: str, fmt: Optional[str]) -> Trace:
+    if fmt is None:
+        fmt = "csv" if path.endswith(".csv") else "fiu"
+    if fmt == "csv":
+        return Trace.load_csv(path)
+    return load_fiu_trace(path)
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    ids = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for experiment_id in ids:
+        start = time.time()
+        try:
+            report = run_experiment(experiment_id, scale=args.scale)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(report)
+        print(f"({time.time() - start:.1f}s)\n")
+    return 0
+
+
+def _cmd_trace_gen(args: argparse.Namespace) -> int:
+    geometry = GeometryConfig(
+        blocks=args.blocks, pages_per_block=args.pages_per_block
+    )
+    config = SSDConfig(geometry=geometry)
+    trace = build_fiu_trace(
+        args.preset, config, n_requests=args.requests, seed=args.seed
+    )
+    if args.format == "csv":
+        trace.save_csv(args.out)
+    else:
+        dump_fiu_trace(trace, args.out)
+    stats = trace.stats()
+    print(
+        f"wrote {stats.requests:,} requests ({stats.written_pages:,} written pages, "
+        f"dedup {stats.dedup_ratio:.1%}) to {args.out}"
+    )
+    return 0
+
+
+def _cmd_trace_info(args: argparse.Namespace) -> int:
+    if not Path(args.trace).exists():
+        print(f"error: no such file: {args.trace}", file=sys.stderr)
+        return 2
+    trace = _load_trace(args.trace, args.format)
+    stats = trace.stats()
+    profile = profile_trace(trace)
+    rows = [
+        ("requests", stats.requests),
+        ("write ratio", f"{stats.write_ratio:.1%}"),
+        ("dedup ratio", f"{stats.dedup_ratio:.1%}"),
+        ("mean request size", f"{stats.avg_req_kb:.1f}KB"),
+        ("written pages", stats.written_pages),
+        ("working set (pages)", profile.working_set_pages),
+        ("mean overwrites/LPN", f"{profile.mean_overwrites:.2f}"),
+        ("unique contents", profile.unique_contents),
+        ("top-1% content share", f"{profile.top1pct_content_share:.1%}"),
+        ("mean final refcount", f"{profile.mean_final_refcount:.2f}"),
+    ]
+    print(format_table(("Metric", "Value"), rows, title=f"trace: {trace.name}"))
+    print(
+        format_table(
+            ("Refcount", "Live contents"),
+            [(label, f"{frac:.1%}") for label, frac in refcount_histogram(trace)],
+            title="final refcount distribution",
+        )
+    )
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    geometry = GeometryConfig(
+        blocks=args.blocks,
+        pages_per_block=args.pages_per_block,
+        channels=args.channels,
+    )
+    config = SSDConfig(
+        geometry=geometry,
+        gc_mode=args.gc_mode,
+        wear_aware_allocation=args.wear_aware,
+        write_buffer_pages=args.write_buffer,
+    )
+    config.validate()
+    if args.trace is not None:
+        trace = _load_trace(args.trace, None)
+    else:
+        trace = build_fiu_trace(
+            args.preset, config, n_requests=0, fill_factor=args.fill_factor
+        )
+    scheme = make_scheme(args.scheme, config, policy=make_policy(args.policy))
+    start = time.time()
+    if args.device == "parallel":
+        from repro.device.parallel import ParallelSSD
+
+        result = ParallelSSD(scheme).replay(trace)
+    else:
+        result = run_trace(scheme, trace)
+    wall = time.time() - start
+    lat = result.latency
+    rows = [
+        ("requests", lat.count),
+        ("mean response", f"{lat.mean_us:.1f}us"),
+        ("p50 / p95 / p99", f"{lat.median_us:.0f} / {lat.p95_us:.0f} / {lat.p99_us:.0f}us"),
+        ("blocks erased", result.blocks_erased),
+        ("pages migrated", result.pages_migrated),
+        ("GC dedup hits", result.gc.dedup_skipped),
+        ("write amplification", f"{result.write_amplification():.2f}"),
+        ("max block wear", result.wear.max_erase),
+        ("simulated time", f"{result.simulated_us / 1e6:.2f}s"),
+        ("wall time", f"{wall:.2f}s"),
+    ]
+    if result.buffer is not None:
+        rows.append(("buffer absorption", f"{result.buffer.absorption_ratio:.1%}"))
+    print(
+        format_table(
+            ("Metric", "Value"),
+            rows,
+            title=f"{args.scheme} / {trace.name} / {args.policy} / {args.gc_mode}",
+        )
+    )
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    geometry = GeometryConfig(blocks=args.blocks, pages_per_block=args.pages_per_block)
+    config = SSDConfig(geometry=geometry)
+    config.validate()
+    trace = build_fiu_trace(
+        args.preset, config, n_requests=0, fill_factor=args.fill_factor
+    )
+    stats = trace.stats()
+    print(
+        f"workload {args.preset}: {stats.requests:,} requests, "
+        f"dedup {stats.dedup_ratio:.1%}, write ratio {stats.write_ratio:.1%}\n"
+    )
+    rows = []
+    for name in ("baseline", "inline-dedupe", "cagc", "lba-hotcold"):
+        scheme = make_scheme(name, config, policy=make_policy(args.policy))
+        result = run_trace(scheme, trace)
+        rows.append(
+            (
+                name,
+                result.blocks_erased,
+                result.pages_migrated,
+                f"{result.latency.mean_us:.0f}us",
+                f"{result.latency.p99_us:.0f}us",
+                f"{result.write_amplification():.2f}",
+            )
+        )
+    print(
+        format_table(
+            ("Scheme", "Erases", "Migrated", "Mean", "p99", "WAF"),
+            rows,
+            title=f"all schemes, {args.policy} victim policy",
+        )
+    )
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        for experiment_id in EXPERIMENTS:
+            print(experiment_id)
+        return 0
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "trace-gen":
+        return _cmd_trace_gen(args)
+    if args.command == "trace-info":
+        return _cmd_trace_info(args)
+    if args.command == "simulate":
+        return _cmd_simulate(args)
+    if args.command == "compare":
+        return _cmd_compare(args)
+    raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover
+
+
+if __name__ == "__main__":
+    sys.exit(main())

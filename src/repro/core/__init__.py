@@ -1,0 +1,12 @@
+"""CAGC — the paper's primary contribution.
+
+Content-Aware Garbage Collection embeds deduplication into the GC
+valid-page migration loop (hiding the hash latency behind the flash
+operations) and places pages into hot/cold regions by reference count.
+"""
+
+from repro.core.cagc import CAGCScheme
+from repro.core.pipeline import GCPipeline
+from repro.core.placement import PlacementPolicy
+
+__all__ = ["CAGCScheme", "GCPipeline", "PlacementPolicy"]

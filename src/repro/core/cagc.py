@@ -1,0 +1,141 @@
+"""The Content-Aware Garbage Collection scheme (paper Section III).
+
+CAGC keeps the foreground write path identical to the Baseline — no
+hashing, no lookup, full ULL write latency and nothing more — and does
+its deduplication work inside GC, where the hash engine runs in
+parallel with page reads, page writes and the block erase
+(:class:`repro.core.pipeline.GCPipeline`).
+
+Collection of a victim block (workflow of Fig 5):
+
+1. read each valid page and hash it (pipelined);
+2. look the fingerprint up in the index;
+3. **hit** — the content already has a canonical copy elsewhere: remap
+   all of the victim page's referrers onto the canonical page (no
+   write), bump its reference count, and if the count just reached the
+   cold threshold, *promote* the canonical page to the cold region;
+4. **miss** — write the page to a region chosen by its reference count
+   (cold if >= threshold, else hot) and make it the canonical copy for
+   its content;
+5. after all valid pages are resolved, erase the victim.
+
+The reference-count placement means hot-region blocks accumulate
+invalid pages rapidly (cheap victims) while cold-region blocks hold
+highly-shared pages that almost never die — which is what cuts both
+the pages-migrated and blocks-erased counts in Figs 9/10.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.config import SSDConfig
+from repro.core.pipeline import GCPipeline
+from repro.core.placement import PlacementPolicy
+from repro.flash.chip import PageState
+from repro.ftl.allocator import Region
+from repro.ftl.gc.policy import VictimPolicy
+from repro.schemes.base import FTLScheme, GCBlockOutcome, WriteOutcome
+
+_ONE_PROGRAM = WriteOutcome(programs=1, hashed_pages=0, dedup_hits=0)
+
+
+class CAGCScheme(FTLScheme):
+    """Content-aware GC with reference-count hot/cold placement."""
+
+    name = "cagc"
+
+    def __init__(
+        self,
+        config: SSDConfig,
+        policy: Optional[VictimPolicy] = None,
+        placement: Optional[PlacementPolicy] = None,
+        prefer_hot_victims: bool = False,
+    ) -> None:
+        super().__init__(config, policy=policy)
+        self.placement = placement if placement is not None else PlacementPolicy(config)
+        if prefer_hot_victims:
+            # Section III-C: hot-region blocks are the desirable victims;
+            # cold blocks are only touched when nothing else is eligible.
+            from repro.ftl.gc.region_aware import RegionAwarePolicy
+
+            self.policy = RegionAwarePolicy(self.policy, self.allocator)
+
+    # ------------------------------------------------------------------ write path
+
+    def write_page(self, lpn: int, fp: int, now_us: float) -> WriteOutcome:
+        """Foreground writes are baseline-fast: program into the hot
+        region, dedup deferred to GC."""
+        self._program_new(lpn, fp, Region.HOT, now_us)
+        return _ONE_PROGRAM
+
+    # ------------------------------------------------------------------ GC
+
+    def collect_block(self, victim: int, now_us: float) -> GCBlockOutcome:
+        valid = self.flash.valid_ppns_in(victim)
+        pipeline = GCPipeline(self.timing)
+        examined = 0
+        migrated = 0
+        skipped = 0
+        promotions = 0
+        for ppn in valid:
+            # A promotion earlier in this pass may have already consumed
+            # this page (canonical living inside the victim).
+            if self.flash.state_of(ppn) != PageState.VALID:
+                continue
+            examined += 1
+            fp = self.page_fp[ppn]
+            canonical = self.index.lookup(fp)
+            if canonical is not None and canonical != ppn:
+                self._dedup_merge(ppn, canonical)
+                pipeline.process_page(write=False)
+                skipped += 1
+                if self._maybe_promote(canonical, now_us):
+                    pipeline.extra_copy()
+                    promotions += 1
+            else:
+                refcount = self.mapping.refcount(ppn)
+                region = self.placement.region_for(refcount, self.allocator)
+                new_ppn = self._migrate_page(ppn, region, now_us)
+                if canonical is None:
+                    # First GC pass over this content: it becomes the
+                    # canonical copy future duplicates merge into.
+                    self.index.insert(fp, new_ppn)
+                pipeline.process_page(write=True)
+                migrated += 1
+        self._erase_victim(victim)
+        outcome = GCBlockOutcome(
+            victim=victim,
+            duration_us=pipeline.finish(),
+            pages_examined=examined,
+            pages_migrated=migrated + promotions,
+            dedup_skipped=skipped,
+            promotions=promotions,
+        )
+        self._account_gc(outcome)
+        return outcome
+
+    # ------------------------------------------------------------------ helpers
+
+    def _dedup_merge(self, ppn: int, canonical: int) -> None:
+        """Redirect every referrer of ``ppn`` onto ``canonical``
+        (redundant page write eliminated)."""
+        self.mapping.remap_ppn(ppn, canonical)
+        self.tracker.observe(canonical, self.mapping.refcount(canonical))
+        self.tracker.peaks.pop(ppn, None)  # history merges into canonical
+        self.page_fp.pop(ppn, None)
+        self.flash.invalidate(ppn)
+
+    def _maybe_promote(self, canonical: int, now_us: float) -> bool:
+        """Move a canonical page to the cold region once its refcount
+        crosses the threshold (Fig 5's promotion branch)."""
+        block = self.flash.geometry.ppn_to_block(canonical)
+        region = self.allocator.region_of(block)
+        refcount = self.mapping.refcount(canonical)
+        if not self.placement.should_promote(refcount, region, self.allocator):
+            return False
+        self._migrate_page(canonical, Region.COLD, now_us)
+        return True
+
+    def _migration_region(self, ppn: int) -> int:  # pragma: no cover - base hook
+        return self.placement.region_for(self.mapping.refcount(ppn), self.allocator)

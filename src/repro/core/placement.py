@@ -1,0 +1,61 @@
+"""Reference-count-based data page placement (paper Section III-C).
+
+Pages whose reference count reaches ``cold_threshold`` are *cold*: a
+delete/update of one sharer merely decrements the count, so the page is
+very unlikely to become invalid — storing such pages together yields
+blocks that essentially never need GC.  Refcount-1 pages are *hot*:
+they die on the first overwrite, so hot-region blocks fill with invalid
+pages quickly and make ideal (cheap) GC victims.
+
+The policy also enforces a cap on the cold region's share of physical
+blocks so pathological workloads (everything duplicated) cannot starve
+the hot write stream; overflow falls back to the hot region, which only
+costs efficiency, never correctness.
+
+Demotion is lazy: a cold page whose refcount has dropped below the
+threshold is simply placed back in the hot region the next time GC
+migrates it (the "Demotion" arrow of Fig 4).
+"""
+
+from __future__ import annotations
+
+from repro.config import SSDConfig
+from repro.ftl.allocator import BlockAllocator, Region
+
+
+class PlacementPolicy:
+    """Decides the target region of each page CAGC writes."""
+
+    def __init__(self, config: SSDConfig) -> None:
+        self.cold_threshold = config.cold_threshold
+        self._max_cold_blocks = int(config.geometry.blocks * config.cold_region_ratio)
+
+    def is_cold(self, refcount: int) -> bool:
+        """Cold classification by reference count alone."""
+        return refcount >= self.cold_threshold
+
+    def region_for(self, refcount: int, allocator: BlockAllocator) -> int:
+        """Target region for a page with ``refcount`` referrers.
+
+        Falls back to HOT when the cold region is at its block budget.
+        """
+        if not self.is_cold(refcount):
+            return Region.HOT
+        if allocator.region_blocks[Region.COLD] >= self._max_cold_blocks:
+            return Region.HOT
+        return Region.COLD
+
+    def should_promote(
+        self, refcount: int, current_region: int, allocator: BlockAllocator
+    ) -> bool:
+        """Promote a canonical page to the cold region?
+
+        Triggered when a GC dedup hit raises the page's refcount to (or
+        past) the threshold while it still lives in the hot region —
+        the "Ref. == threshold? -> Data migration" branch of Fig 5.
+        """
+        return (
+            current_region != Region.COLD
+            and self.is_cold(refcount)
+            and allocator.region_blocks[Region.COLD] < self._max_cold_blocks
+        )

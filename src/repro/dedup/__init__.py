@@ -1,0 +1,13 @@
+"""Deduplication substrate: fingerprints, index, refcount lifecycle."""
+
+from repro.dedup.fingerprint import Fingerprint, fingerprint_bytes
+from repro.dedup.index import FingerprintIndex
+from repro.dedup.refcount import RefcountTracker, InvalidationHistogram
+
+__all__ = [
+    "Fingerprint",
+    "fingerprint_bytes",
+    "FingerprintIndex",
+    "RefcountTracker",
+    "InvalidationHistogram",
+]

@@ -1,0 +1,104 @@
+"""Fingerprint index: content fingerprint <-> canonical physical page.
+
+The index answers the dedup question "is this content already stored,
+and where?".  Reference counts (how many LPNs share the canonical page)
+live in the :class:`repro.ftl.mapping.MappingTable` reverse map — one
+source of truth; the index only tracks the fp <-> PPN bijection and the
+statistics the evaluation reports (hits, misses, memory footprint).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.dedup.fingerprint import Fingerprint
+
+
+class IndexError_(RuntimeError):
+    """Inconsistent index operation (duplicate insert, missing entry)."""
+
+
+class FingerprintIndex:
+    """Bidirectional fingerprint <-> canonical-PPN map."""
+
+    def __init__(self) -> None:
+        self._by_fp: Dict[Fingerprint, int] = {}
+        self._by_ppn: Dict[int, Fingerprint] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._by_fp)
+
+    # -- queries ---------------------------------------------------------------
+
+    def lookup(self, fp: Fingerprint) -> Optional[int]:
+        """Canonical PPN storing ``fp``'s content, or ``None`` (counts
+        hit/miss statistics)."""
+        ppn = self._by_fp.get(fp)
+        if ppn is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return ppn
+
+    def peek(self, fp: Fingerprint) -> Optional[int]:
+        """Like :meth:`lookup` but without touching the statistics."""
+        return self._by_fp.get(fp)
+
+    def fp_of(self, ppn: int) -> Optional[Fingerprint]:
+        return self._by_ppn.get(ppn)
+
+    def contains_ppn(self, ppn: int) -> bool:
+        return ppn in self._by_ppn
+
+    @property
+    def hit_ratio(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def memory_bytes(self) -> int:
+        """Estimated DRAM footprint of the index.
+
+        Per entry: the fingerprint (8 B), the PPN (4 B), and both hash-
+        table slots with load-factor overhead (~2x) — the figure a real
+        FTL's memory budget would be judged on.
+        """
+        return len(self._by_fp) * 2 * (8 + 4) * 2
+
+    # -- mutations ---------------------------------------------------------------
+
+    def insert(self, fp: Fingerprint, ppn: int) -> None:
+        """Register ``ppn`` as the canonical page for ``fp``."""
+        if fp in self._by_fp:
+            raise IndexError_(f"fingerprint {fp:#x} already indexed")
+        if ppn in self._by_ppn:
+            raise IndexError_(f"ppn {ppn} already canonical for another fp")
+        self._by_fp[fp] = ppn
+        self._by_ppn[ppn] = fp
+
+    def remove_ppn(self, ppn: int) -> Optional[Fingerprint]:
+        """Drop the entry whose canonical page is ``ppn`` (page died)."""
+        fp = self._by_ppn.pop(ppn, None)
+        if fp is not None:
+            del self._by_fp[fp]
+        return fp
+
+    def move(self, old_ppn: int, new_ppn: int) -> None:
+        """Canonical page migrated during GC: re-point its index entry."""
+        fp = self._by_ppn.pop(old_ppn, None)
+        if fp is None:
+            raise IndexError_(f"ppn {old_ppn} is not canonical for any fp")
+        if new_ppn in self._by_ppn:
+            raise IndexError_(f"ppn {new_ppn} already canonical")
+        self._by_ppn[new_ppn] = fp
+        self._by_fp[fp] = new_ppn
+
+    # -- invariants ----------------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        if len(self._by_fp) != len(self._by_ppn):
+            raise AssertionError("fp/ppn map sizes differ")
+        for fp, ppn in self._by_fp.items():
+            if self._by_ppn.get(ppn) != fp:
+                raise AssertionError(f"asymmetric entry fp={fp:#x} ppn={ppn}")

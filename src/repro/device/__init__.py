@@ -1,0 +1,14 @@
+"""SSD device controller: request admission, service, GC triggering."""
+
+from repro.device.ssd import SSD, RunResult, run_trace
+from repro.device.parallel import ParallelSSD
+from repro.device.writebuffer import WriteBuffer, WriteBufferStats
+
+__all__ = [
+    "SSD",
+    "ParallelSSD",
+    "RunResult",
+    "run_trace",
+    "WriteBuffer",
+    "WriteBufferStats",
+]

@@ -1,0 +1,305 @@
+"""Event-driven SSD controller.
+
+Replays a trace against an FTL scheme under the discrete-event engine:
+
+* request arrivals fire at trace timestamps (scheduled lazily, one
+  ahead, so the event heap stays O(1));
+* the device services requests FIFO — the single-FTL-thread model of
+  FlashSim; multi-page requests stripe across channels inside the
+  service-time computation;
+* before servicing a write, the controller checks the free-space
+  watermark and, if crossed, runs garbage collection.  Two modes
+  (``config.gc_mode``):
+
+  - ``blocking`` — the triggering write stalls for a whole burst (up to
+    ``gc_burst_blocks`` victims), the classic FlashSim behaviour whose
+    interference Figs 11 and 12 quantify;
+  - ``preemptive`` — the write stalls only until a small free-block
+    reserve is restored; the rest of the reclamation happens one block
+    per chunk in device idle time, so a queued request waits at most one
+    block-collection (semi-preemptive GC, Lee et al. ISPASS'11);
+
+* response time = completion − arrival (queueing included).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Optional, Tuple
+
+import numpy as np
+
+from repro.device.writebuffer import WriteBuffer, WriteBufferStats
+from repro.metrics.counters import GCCounters, IOCounters
+from repro.metrics.latency import LatencyRecorder, LatencySummary
+from repro.ftl.wear import WearStats
+from repro.schemes.base import FTLScheme
+from repro.sim.engine import Simulator
+from repro.sim.events import Event, EventKind
+from repro.workloads.request import OpKind
+from repro.workloads.trace import Trace
+
+#: Queued row: (arrival_us, op, lpn, npages, fps).
+_Row = Tuple[float, int, int, int, Optional[np.ndarray]]
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Everything one replay produced, for the experiment harness."""
+
+    scheme: str
+    trace: str
+    latency: LatencySummary
+    response_times_us: np.ndarray
+    gc: GCCounters
+    io: IOCounters
+    wear: WearStats
+    simulated_us: float
+    #: present when the device ran with a DRAM write buffer.
+    buffer: Optional[WriteBufferStats] = None
+
+    @property
+    def blocks_erased(self) -> int:
+        return self.gc.blocks_erased
+
+    @property
+    def pages_migrated(self) -> int:
+        return self.gc.pages_migrated
+
+    @property
+    def mean_response_us(self) -> float:
+        return self.latency.mean_us
+
+    def write_amplification(self) -> float:
+        return self.io.write_amplification(self.gc)
+
+
+class SSD:
+    """One simulated SSD: a scheme plus the admission/service machinery."""
+
+    def __init__(self, scheme: FTLScheme, sim: Optional[Simulator] = None) -> None:
+        self.scheme = scheme
+        self.sim = sim if sim is not None else Simulator()
+        self.latency = LatencyRecorder()
+        self._queue: Deque[_Row] = deque()
+        self._busy = False
+        self._rows = None  # type: Optional[object]
+        self._preemptive = scheme.config.gc_mode == "preemptive"
+        #: idle-time GC chunks completed (preemptive mode telemetry).
+        self.background_gc_chunks = 0
+        self.buffer: Optional[WriteBuffer] = None
+        if scheme.config.write_buffer_pages > 0:
+            self.buffer = WriteBuffer(
+                scheme.config.write_buffer_pages,
+                dram_us=scheme.config.write_buffer_dram_us,
+            )
+        from repro.metrics.timeline import TimelineRecorder
+
+        #: free-space / GC-activity time series (sampled at GC events).
+        self.timeline = TimelineRecorder()
+
+    # ------------------------------------------------------------------ replay
+
+    def replay(self, trace: Trace) -> RunResult:
+        """Replay ``trace`` to completion and summarize the run."""
+        self._rows = trace.iter_rows()
+        self._schedule_next_arrival()
+        self.sim.run()
+        if self.buffer is not None:
+            # End-of-run flush: destage whatever is still buffered so the
+            # GC/WAF counters reflect the full write traffic (untimed).
+            remaining = self.buffer.drain()
+            if remaining:
+                self._destage_with_gc(remaining, self.sim.now)
+        return RunResult(
+            scheme=self.scheme.name,
+            trace=trace.name,
+            latency=self.latency.summary(),
+            response_times_us=self.latency.samples().copy(),
+            gc=self.scheme.gc_counters,
+            io=self.scheme.io_counters,
+            wear=self.scheme.wear(),
+            simulated_us=self.sim.now,
+            buffer=self.buffer.stats if self.buffer is not None else None,
+        )
+
+    # ------------------------------------------------------------------ events
+
+    def _schedule_next_arrival(self) -> None:
+        assert self._rows is not None
+        row = next(self._rows, None)
+        if row is not None:
+            self.sim.schedule_at(
+                row[0], EventKind.REQUEST_ARRIVAL, row, self._on_arrival
+            )
+
+    def _on_arrival(self, event: Event) -> None:
+        self._queue.append(event.payload)
+        self._schedule_next_arrival()
+        if not self._busy:
+            self._start_service()
+
+    def _start_service(self) -> None:
+        row = self._queue.popleft()
+        self._busy = True
+        duration = self._service(row)
+        self.sim.schedule(
+            duration, EventKind.OP_COMPLETE, row[0], self._on_complete
+        )
+
+    def _on_complete(self, event: Event) -> None:
+        arrival_us = event.payload
+        self.latency.record(self.sim.now - arrival_us)
+        if self._queue:
+            self._start_service()
+        else:
+            self._busy = False
+            self._maybe_background_gc()
+
+    # ------------------------------------------------------------------ idle GC
+
+    def _maybe_background_gc(self) -> None:
+        """Preemptive mode: reclaim one block per idle gap."""
+        if not self._preemptive or not self.scheme.needs_background_gc():
+            return
+        duration = self.scheme.collect_next(self.sim.now)
+        if duration <= 0.0:
+            return
+        self._busy = True
+        self.background_gc_chunks += 1
+        self.sim.schedule(duration, EventKind.GC_COMPLETE, None, self._on_bg_gc_done)
+
+    def _on_bg_gc_done(self, event: Event) -> None:
+        self._busy = False
+        self._sample_gc_state(self.sim.now)
+        if self._queue:
+            self._start_service()
+        else:
+            self._maybe_background_gc()
+
+    # ------------------------------------------------------------------ service
+
+    def _service(self, row: _Row) -> float:
+        """Apply the request to the FTL and return its service time."""
+        _, op, lpn, npages, fps = row
+        scheme = self.scheme
+        timing = scheme.timing
+        channels = scheme.flash.geometry.channels
+        now = self.sim.now
+        if op == int(OpKind.WRITE):
+            if self.buffer is not None:
+                return self._service_buffered_write(lpn, npages, fps, now)
+            # GC watermark check happens on the write path: writes are
+            # what consume free pages.  In blocking mode the whole burst
+            # stalls this request and everything queued behind it; in
+            # preemptive mode only the minimum reclamation needed to
+            # restore the free-block reserve does.
+            gc_us = self._gc_before_write(now)
+            outcome = scheme.write_request(lpn, fps, now + gc_us)
+            service = timing.write_request_us(outcome.programs, channels)
+            if outcome.hashed_pages:
+                # Inline dedup: hash + lookup serial on the critical path.
+                service += timing.inline_dedup_us(outcome.hashed_pages)
+            if outcome.programs == 0:
+                service += timing.lookup_us  # metadata-only update
+            return gc_us + service
+        if op == int(OpKind.READ):
+            if self.buffer is not None:
+                return self._service_buffered_read(lpn, npages)
+            scheme.read_request(lpn, npages)
+            return timing.read_request_us(npages, channels)
+        if op == int(OpKind.TRIM):
+            if self.buffer is not None:
+                for offset in range(npages):
+                    self.buffer.trim(lpn + offset)
+            scheme.trim_request(lpn, npages, now)
+            return timing.overhead_us + timing.lookup_us * npages
+        raise ValueError(f"unknown opcode {op}")
+
+    def _gc_before_write(self, now: float) -> float:
+        if self._preemptive:
+            gc_us = self._foreground_preemptive_gc(now)
+        else:
+            gc_us = self.scheme.run_gc(now) if self.scheme.needs_gc() else 0.0
+        if gc_us > 0.0:
+            self._sample_gc_state(now + gc_us)
+        return gc_us
+
+    def _sample_gc_state(self, time_us: float) -> None:
+        scheme = self.scheme
+        self.timeline.sample("free_fraction", time_us, scheme.allocator.free_fraction())
+        self.timeline.sample(
+            "blocks_erased", time_us, float(scheme.gc_counters.blocks_erased)
+        )
+        self.timeline.sample(
+            "pages_migrated", time_us, float(scheme.gc_counters.pages_migrated)
+        )
+
+    def _service_buffered_write(
+        self, lpn: int, npages: int, fps, now: float
+    ) -> float:
+        """Absorb a write into the DRAM buffer, destaging on overflow."""
+        scheme = self.scheme
+        timing = scheme.timing
+        buffer = self.buffer
+        assert buffer is not None
+        evicted = []
+        for offset in range(npages):
+            evicted.extend(buffer.put(lpn + offset, int(fps[offset])))
+        service = timing.overhead_us + npages * buffer.dram_us
+        if not evicted:
+            return service
+        gc_us, programs, hashed = self._destage_with_gc(evicted, now)
+        service += timing.write_request_us(programs, scheme.flash.geometry.channels)
+        if hashed:
+            service += timing.inline_dedup_us(hashed)
+        return gc_us + service
+
+    def _destage_with_gc(self, pages, now: float):
+        """Destage in block-sized chunks, interleaving GC so a large
+        batch can never outrun the bounded per-burst reclamation.
+        Returns ``(gc_us, programs, hashed_pages)``."""
+        scheme = self.scheme
+        chunk = scheme.flash.pages_per_block
+        gc_us = 0.0
+        programs = 0
+        hashed = 0
+        for start in range(0, len(pages), chunk):
+            gc_us += self._gc_before_write(now + gc_us)
+            outcome = scheme.destage(pages[start : start + chunk], now + gc_us)
+            programs += outcome.programs
+            hashed += outcome.hashed_pages
+        return gc_us, programs, hashed
+
+    def _service_buffered_read(self, lpn: int, npages: int) -> float:
+        """Serve buffered pages from DRAM, the rest from flash."""
+        scheme = self.scheme
+        timing = scheme.timing
+        buffer = self.buffer
+        assert buffer is not None
+        hits = sum(1 for offset in range(npages) if buffer.read(lpn + offset) is not None)
+        misses = npages - hits
+        scheme.read_request(lpn, npages)
+        service = timing.overhead_us + hits * buffer.dram_us
+        if misses:
+            slots_us = timing.read_request_us(misses, scheme.flash.geometry.channels)
+            service += slots_us - timing.overhead_us  # overhead charged once
+        return service
+
+    def _foreground_preemptive_gc(self, now: float) -> float:
+        """Reclaim only until the free-block reserve is restored."""
+        scheme = self.scheme
+        reserve = scheme.reserve_blocks()
+        duration = 0.0
+        while scheme.allocator.free_blocks < reserve:
+            chunk = scheme.collect_next(now + duration)
+            if chunk <= 0.0:
+                break
+            duration += chunk
+        return duration
+
+
+def run_trace(scheme: FTLScheme, trace: Trace) -> RunResult:
+    """Convenience wrapper: replay ``trace`` on a fresh SSD."""
+    return SSD(scheme).replay(trace)

@@ -1,0 +1,110 @@
+"""DRAM write buffer in front of the FTL.
+
+The paper's related work (section V) lists write buffering [32, 36] as
+the third family of GC mitigations: absorb overwrites in RAM so they
+never reach flash.  This module implements an LRU write-back buffer the
+device can stack in front of any scheme, letting the repository compare
+"reduce writes before flash" against "dedup inside GC".
+
+Semantics:
+
+* a buffered write is acknowledged at DRAM latency; rewriting a
+  buffered LPN is absorbed entirely (no flash traffic ever);
+* when the buffer exceeds capacity it destages a batch of
+  least-recently-used pages to the FTL on the caller's critical path
+  (write-back, destage-on-fill);
+* reads of buffered LPNs are served from DRAM;
+* TRIM drops buffered pages without destaging them.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+
+@dataclass
+class WriteBufferStats:
+    """Traffic accounting for one run."""
+
+    pages_buffered: int = 0
+    #: rewrites absorbed while the page was still buffered.
+    overwrite_hits: int = 0
+    pages_destaged: int = 0
+    read_hits: int = 0
+    trims_absorbed: int = 0
+
+    @property
+    def absorption_ratio(self) -> float:
+        """Fraction of buffered page writes that never reached flash."""
+        if self.pages_buffered == 0:
+            return 0.0
+        return 1.0 - self.pages_destaged / self.pages_buffered
+
+
+class WriteBuffer:
+    """LRU write-back buffer of (LPN -> content fingerprint)."""
+
+    def __init__(
+        self,
+        capacity_pages: int,
+        dram_us: float = 1.0,
+        destage_batch: Optional[int] = None,
+    ) -> None:
+        if capacity_pages < 1:
+            raise ValueError("capacity_pages must be >= 1")
+        if dram_us < 0:
+            raise ValueError("dram_us must be non-negative")
+        self.capacity = capacity_pages
+        self.dram_us = dram_us
+        self.destage_batch = (
+            destage_batch if destage_batch is not None else max(1, capacity_pages // 8)
+        )
+        self._pages: "OrderedDict[int, int]" = OrderedDict()
+        self.stats = WriteBufferStats()
+
+    def __len__(self) -> int:
+        return len(self._pages)
+
+    def __contains__(self, lpn: int) -> bool:
+        return lpn in self._pages
+
+    # -- operations ---------------------------------------------------------------
+
+    def put(self, lpn: int, fp: int) -> List[Tuple[int, int]]:
+        """Buffer one page write; return pages destaged to make room."""
+        self.stats.pages_buffered += 1
+        if lpn in self._pages:
+            self.stats.overwrite_hits += 1
+            self._pages.move_to_end(lpn)
+            self._pages[lpn] = fp
+            return []
+        self._pages[lpn] = fp
+        evicted: List[Tuple[int, int]] = []
+        if len(self._pages) > self.capacity:
+            for _ in range(min(self.destage_batch, len(self._pages))):
+                evicted.append(self._pages.popitem(last=False))
+        self.stats.pages_destaged += len(evicted)
+        return evicted
+
+    def read(self, lpn: int) -> Optional[int]:
+        """Content fingerprint if buffered (counts a read hit)."""
+        fp = self._pages.get(lpn)
+        if fp is not None:
+            self.stats.read_hits += 1
+        return fp
+
+    def trim(self, lpn: int) -> bool:
+        """Drop a buffered page without destaging; True if present."""
+        if self._pages.pop(lpn, None) is not None:
+            self.stats.trims_absorbed += 1
+            return True
+        return False
+
+    def drain(self) -> List[Tuple[int, int]]:
+        """Destage everything (end-of-run flush)."""
+        remaining = list(self._pages.items())
+        self.stats.pages_destaged += len(remaining)
+        self._pages.clear()
+        return remaining

@@ -1,0 +1,57 @@
+"""Experiment registry: every paper table/figure plus the ablations."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.experiments import (
+    ablations,
+    stability,
+    fig2_inline_overhead,
+    fig6_refcount_invalid,
+    fig7_placement_example,
+    fig8_example,
+    fig9_blocks_erased,
+    fig10_pages_migrated,
+    fig11_response_time,
+    fig12_latency_cdf,
+    fig13_victim_policy,
+    table1_config,
+    table2_workloads,
+)
+from repro.experiments.common import ExperimentReport
+
+EXPERIMENTS: Dict[str, Callable[[str], ExperimentReport]] = {
+    "table1": table1_config.run,
+    "table2": table2_workloads.run,
+    "fig2": fig2_inline_overhead.run,
+    "fig6": fig6_refcount_invalid.run,
+    "fig7": fig7_placement_example.run,
+    "fig8": fig8_example.run,
+    "fig9": fig9_blocks_erased.run,
+    "fig10": fig10_pages_migrated.run,
+    "fig11": fig11_response_time.run,
+    "fig12": fig12_latency_cdf.run,
+    "fig13": fig13_victim_policy.run,
+    "ablation-threshold": ablations.run_threshold,
+    "ablation-placement": ablations.run_placement,
+    "ablation-hash-latency": ablations.run_hash_latency,
+    "ablation-op-space": ablations.run_op_space,
+    "ablation-gc-mode": ablations.run_gc_mode,
+    "ablation-separation": ablations.run_separation,
+    "ablation-write-buffer": ablations.run_write_buffer,
+    "ablation-hot-victims": ablations.run_hot_victims,
+    "ablation-channels": ablations.run_channels,
+    "stability": stability.run,
+}
+
+
+def run_experiment(experiment_id: str, scale: str = "bench") -> ExperimentReport:
+    """Run one experiment by id (``fig9``, ``table2``, ...)."""
+    try:
+        runner = EXPERIMENTS[experiment_id]
+    except KeyError:
+        raise ValueError(
+            f"unknown experiment {experiment_id!r}; choose from {sorted(EXPERIMENTS)}"
+        ) from None
+    return runner(scale)

@@ -1,0 +1,22 @@
+"""Flash array model: geometry, timing, page/block state machine."""
+
+from repro.flash.geometry import Geometry
+from repro.flash.timing import FlashTiming
+from repro.flash.chip import FlashArray, PageState
+from repro.flash.errors import (
+    FlashError,
+    ProgramError,
+    EraseError,
+    InvalidAddressError,
+)
+
+__all__ = [
+    "Geometry",
+    "FlashTiming",
+    "FlashArray",
+    "PageState",
+    "FlashError",
+    "ProgramError",
+    "EraseError",
+    "InvalidAddressError",
+]

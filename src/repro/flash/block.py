@@ -1,0 +1,40 @@
+"""Per-block metadata view.
+
+The authoritative state lives in the flat NumPy arrays of
+:class:`repro.flash.chip.FlashArray`; :class:`BlockInfo` is a cheap
+read-only snapshot used by GC policies and reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class BlockInfo:
+    """Snapshot of one flash block's bookkeeping counters."""
+
+    block: int
+    valid_pages: int
+    invalid_pages: int
+    free_pages: int
+    erase_count: int
+    #: Simulation time of the most recent program into this block; used
+    #: by the cost-benefit victim policy as the block "age" reference.
+    last_write_us: float
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of non-free pages that are valid (``u`` in the
+        cost-benefit formula)."""
+        total = self.valid_pages + self.invalid_pages + self.free_pages
+        return self.valid_pages / total if total else 0.0
+
+    @property
+    def is_full(self) -> bool:
+        return self.free_pages == 0
+
+    @property
+    def is_clean(self) -> bool:
+        """True when the block is fully erased (all pages free)."""
+        return self.valid_pages == 0 and self.invalid_pages == 0

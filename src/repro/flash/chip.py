@@ -1,0 +1,154 @@
+"""Flash array state machine.
+
+Holds the page-state array and per-block counters for the whole device
+in flat NumPy arrays (one entry per page / per block), giving O(1)
+programs, invalidations and erases with no per-page Python objects —
+the hot-loop discipline the run-time budget requires.
+
+Physical rules enforced:
+
+* a page programs only when FREE, and only at the block's write pointer
+  (NAND programs pages in order within a block);
+* a block erases only when it holds no VALID pages (the FTL must migrate
+  them first);
+* erase resets every page in the block to FREE and bumps the block's
+  erase counter (the endurance metric reported in Fig 9).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+import numpy as np
+
+from repro.config import GeometryConfig
+from repro.flash.block import BlockInfo
+from repro.flash.errors import EraseError, ProgramError
+from repro.flash.geometry import Geometry
+
+
+class PageState:
+    """Page states; plain ints for NumPy-array friendliness."""
+
+    FREE = 0
+    VALID = 1
+    INVALID = 2
+
+
+class FlashArray:
+    """The complete NAND array of one SSD."""
+
+    def __init__(self, config: GeometryConfig) -> None:
+        self.geometry = Geometry(config)
+        n_pages = self.geometry.total_pages
+        n_blocks = self.geometry.blocks
+        self.page_state = np.full(n_pages, PageState.FREE, dtype=np.uint8)
+        self.valid_count = np.zeros(n_blocks, dtype=np.int32)
+        self.invalid_count = np.zeros(n_blocks, dtype=np.int32)
+        self.write_ptr = np.zeros(n_blocks, dtype=np.int32)
+        self.erase_count = np.zeros(n_blocks, dtype=np.int64)
+        self.last_write_us = np.zeros(n_blocks, dtype=np.float64)
+        self.total_programs = 0
+        self.total_erases = 0
+
+    # -- queries -----------------------------------------------------------------
+
+    @property
+    def blocks(self) -> int:
+        return self.geometry.blocks
+
+    @property
+    def pages_per_block(self) -> int:
+        return self.geometry.pages_per_block
+
+    def state_of(self, ppn: int) -> int:
+        self.geometry.check_ppn(ppn)
+        return int(self.page_state[ppn])
+
+    def free_pages_in(self, block: int) -> int:
+        self.geometry.check_block(block)
+        return self.pages_per_block - int(self.write_ptr[block])
+
+    def block_info(self, block: int) -> BlockInfo:
+        self.geometry.check_block(block)
+        return BlockInfo(
+            block=block,
+            valid_pages=int(self.valid_count[block]),
+            invalid_pages=int(self.invalid_count[block]),
+            free_pages=self.pages_per_block - int(self.write_ptr[block]),
+            erase_count=int(self.erase_count[block]),
+            last_write_us=float(self.last_write_us[block]),
+        )
+
+    def iter_blocks(self) -> Iterator[BlockInfo]:
+        for block in range(self.blocks):
+            yield self.block_info(block)
+
+    def valid_ppns_in(self, block: int) -> List[int]:
+        """PPNs of VALID pages in a block (for GC migration)."""
+        self.geometry.check_block(block)
+        base = block * self.pages_per_block
+        states = self.page_state[base : base + int(self.write_ptr[block])]
+        return [base + int(i) for i in np.nonzero(states == PageState.VALID)[0]]
+
+    # -- mutations ----------------------------------------------------------------
+
+    def program(self, block: int, now_us: float = 0.0) -> int:
+        """Program the next free page of ``block``; return its PPN."""
+        self.geometry.check_block(block)
+        ptr = int(self.write_ptr[block])
+        if ptr >= self.pages_per_block:
+            raise ProgramError(f"block {block} is full")
+        ppn = self.geometry.make_ppn(block, ptr)
+        # write_ptr < pages_per_block guarantees the page is FREE, but a
+        # corrupted pointer would silently overwrite — check explicitly.
+        if self.page_state[ppn] != PageState.FREE:
+            raise ProgramError(f"page {ppn} is not free (state={self.page_state[ppn]})")
+        self.page_state[ppn] = PageState.VALID
+        self.write_ptr[block] = ptr + 1
+        self.valid_count[block] += 1
+        self.last_write_us[block] = now_us
+        self.total_programs += 1
+        return ppn
+
+    def invalidate(self, ppn: int) -> None:
+        """Mark a VALID page INVALID (out-of-place update or trim)."""
+        self.geometry.check_ppn(ppn)
+        if self.page_state[ppn] != PageState.VALID:
+            raise ProgramError(
+                f"cannot invalidate page {ppn}: state={self.page_state[ppn]}"
+            )
+        block = self.geometry.ppn_to_block(ppn)
+        self.page_state[ppn] = PageState.INVALID
+        self.valid_count[block] -= 1
+        self.invalid_count[block] += 1
+
+    def erase(self, block: int) -> None:
+        """Erase a block; all its pages become FREE."""
+        self.geometry.check_block(block)
+        if self.valid_count[block] != 0:
+            raise EraseError(
+                f"block {block} still has {int(self.valid_count[block])} valid pages"
+            )
+        base = block * self.pages_per_block
+        self.page_state[base : base + self.pages_per_block] = PageState.FREE
+        self.invalid_count[block] = 0
+        self.write_ptr[block] = 0
+        self.erase_count[block] += 1
+        self.total_erases += 1
+
+    # -- invariants -----------------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Verify counters against the page-state array (test hook)."""
+        ppb = self.pages_per_block
+        states = self.page_state.reshape(self.blocks, ppb)
+        valid = (states == PageState.VALID).sum(axis=1)
+        invalid = (states == PageState.INVALID).sum(axis=1)
+        if not np.array_equal(valid, self.valid_count):
+            raise AssertionError("valid_count out of sync with page states")
+        if not np.array_equal(invalid, self.invalid_count):
+            raise AssertionError("invalid_count out of sync with page states")
+        used = valid + invalid
+        if not np.array_equal(used, self.write_ptr):
+            raise AssertionError("write_ptr out of sync with page states")

@@ -1,0 +1,24 @@
+"""Exception hierarchy for illegal flash operations.
+
+NAND flash has hard physical rules — pages program once between erases,
+erases work on whole blocks — and the model enforces them so FTL bugs
+surface as exceptions instead of silently corrupt state.
+"""
+
+from __future__ import annotations
+
+
+class FlashError(RuntimeError):
+    """Base class for flash state-machine violations."""
+
+
+class InvalidAddressError(FlashError):
+    """PPN or block index outside the device geometry."""
+
+
+class ProgramError(FlashError):
+    """Attempt to program a page that is not FREE (no overwrite in NAND)."""
+
+
+class EraseError(FlashError):
+    """Attempt to erase a block that still holds VALID pages."""

@@ -1,0 +1,72 @@
+"""Address arithmetic for the flash array.
+
+A physical page number (PPN) is a flat index over the whole device.
+Blocks are striped round-robin across channels, so consecutive blocks
+land on different channels — the standard layout for write parallelism.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.config import GeometryConfig
+
+
+class Geometry:
+    """Resolved geometry with fast PPN <-> (block, offset) conversion."""
+
+    __slots__ = ("channels", "page_size", "pages_per_block", "blocks", "total_pages")
+
+    def __init__(self, config: GeometryConfig) -> None:
+        config.validate()
+        self.channels = config.channels
+        self.page_size = config.page_size
+        self.pages_per_block = config.pages_per_block
+        self.blocks = config.blocks
+        self.total_pages = config.blocks * config.pages_per_block
+
+    # -- address conversion -------------------------------------------------
+
+    def ppn_to_block(self, ppn: int) -> int:
+        return ppn // self.pages_per_block
+
+    def ppn_to_offset(self, ppn: int) -> int:
+        return ppn % self.pages_per_block
+
+    def split_ppn(self, ppn: int) -> Tuple[int, int]:
+        """Return ``(block, page_offset)`` for a PPN."""
+        return divmod(ppn, self.pages_per_block)
+
+    def make_ppn(self, block: int, offset: int) -> int:
+        return block * self.pages_per_block + offset
+
+    def block_to_channel(self, block: int) -> int:
+        """Channel a block lives on (round-robin striping)."""
+        return block % self.channels
+
+    def ppn_to_channel(self, ppn: int) -> int:
+        return self.ppn_to_block(ppn) % self.channels
+
+    # -- validation ----------------------------------------------------------
+
+    def check_ppn(self, ppn: int) -> None:
+        if not 0 <= ppn < self.total_pages:
+            from repro.flash.errors import InvalidAddressError
+
+            raise InvalidAddressError(
+                f"PPN {ppn} outside device (total_pages={self.total_pages})"
+            )
+
+    def check_block(self, block: int) -> None:
+        if not 0 <= block < self.blocks:
+            from repro.flash.errors import InvalidAddressError
+
+            raise InvalidAddressError(
+                f"block {block} outside device (blocks={self.blocks})"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Geometry(channels={self.channels}, blocks={self.blocks}, "
+            f"pages_per_block={self.pages_per_block}, page_size={self.page_size})"
+        )

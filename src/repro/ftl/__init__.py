@@ -1,0 +1,23 @@
+"""Flash Translation Layer substrate: mapping, allocation, regions, wear."""
+
+from repro.ftl.mapping import MappingTable
+from repro.ftl.allocator import (
+    BlockAllocator,
+    WearAwareAllocator,
+    Region,
+    DeviceFullError,
+)
+from repro.ftl.wear import WearStats, wear_stats
+from repro.ftl.regions import RegionStats, region_stats
+
+__all__ = [
+    "RegionStats",
+    "region_stats",
+    "MappingTable",
+    "BlockAllocator",
+    "WearAwareAllocator",
+    "Region",
+    "DeviceFullError",
+    "WearStats",
+    "wear_stats",
+]

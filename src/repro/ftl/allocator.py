@@ -1,0 +1,168 @@
+"""Free-block pool and per-region active-block page allocation.
+
+The allocator owns the free-block pool and one *active block* per
+region (write stream).  User and GC writes ask for the next page in the
+region's active block; when it fills, a fresh block is pulled from the
+pool and tagged with the region.  Erased blocks return to the pool and
+lose their tag.
+
+CAGC's hot/cold separation (paper section III-C) is expressed as two
+regions; the Baseline and Inline-Dedupe schemes allocate everything from
+the HOT region.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Optional
+
+import numpy as np
+
+from repro.flash.chip import FlashArray
+
+
+class Region:
+    """Write streams; values index per-region bookkeeping arrays."""
+
+    HOT = 0
+    COLD = 1
+
+    NAMES = {HOT: "hot", COLD: "cold"}
+
+
+class DeviceFullError(RuntimeError):
+    """No free block available — the FTL over-committed physical space."""
+
+
+class BlockAllocator:
+    """Tracks free blocks and serves page allocations per region."""
+
+    def __init__(self, flash: FlashArray) -> None:
+        self.flash = flash
+        self._free: Deque[int] = deque(range(flash.blocks))
+        self._active: Dict[int, Optional[int]] = {Region.HOT: None, Region.COLD: None}
+        #: Region tag per block; -1 = untagged (free / never used).
+        self.block_region = np.full(flash.blocks, -1, dtype=np.int8)
+        #: Live block count per region (indexed by Region.*).
+        self.region_blocks: Dict[int, int] = {Region.HOT: 0, Region.COLD: 0}
+
+    # -- pool state ------------------------------------------------------------
+
+    @property
+    def free_blocks(self) -> int:
+        return len(self._free)
+
+    def free_fraction(self) -> float:
+        return len(self._free) / self.flash.blocks
+
+    def is_active(self, block: int) -> bool:
+        return block in (self._active[Region.HOT], self._active[Region.COLD])
+
+    def active_block(self, region: int) -> Optional[int]:
+        return self._active[region]
+
+    def region_of(self, block: int) -> int:
+        return int(self.block_region[block])
+
+    # -- allocation ------------------------------------------------------------
+
+    def allocate_page(self, region: int, now_us: float = 0.0) -> int:
+        """Program the next page of ``region``'s active block.
+
+        Returns the PPN.  Pulls a fresh free block when the active block
+        is full; raises :class:`DeviceFullError` when the pool is empty —
+        the device layer must GC before that happens.
+        """
+        block = self._active[region]
+        if block is None or self.flash.free_pages_in(block) == 0:
+            block = self._pull_free(region)
+        ppn = self.flash.program(block, now_us)
+        if self.flash.free_pages_in(block) == 0:
+            self._active[region] = None  # full blocks leave the active slot
+        return ppn
+
+    def release_block(self, block: int) -> None:
+        """Return an erased block to the free pool (after GC erase)."""
+        if self.is_active(block):
+            raise RuntimeError(f"cannot release active block {block}")
+        region = int(self.block_region[block])
+        if region != -1:
+            self.region_blocks[region] -= 1
+        self.block_region[block] = -1
+        self._free.append(block)
+
+    def _pull_free(self, region: int) -> int:  # overridden by WearAwareAllocator
+        return self._take_block(0, region) if self._free else self._no_free()
+
+    def _take_block(self, index: int, region: int) -> int:
+        block = self._free[index]
+        del self._free[index]
+        self.block_region[block] = region
+        self.region_blocks[region] += 1
+        self._active[region] = block
+        return block
+
+    def _no_free(self) -> int:
+        raise DeviceFullError(
+            "no free flash block (GC watermark set too low or workload "
+            "exceeds logical capacity)"
+        )
+
+    # -- GC candidate enumeration ---------------------------------------------
+
+    def victim_candidates_mask(self) -> np.ndarray:
+        """Boolean mask of blocks eligible as GC victims.
+
+        Eligible = fully written, not an active write block, and holding
+        at least one invalid page (erasing a fully-valid block reclaims
+        nothing).
+        """
+        flash = self.flash
+        mask = (flash.write_ptr == flash.pages_per_block) & (flash.invalid_count > 0)
+        for region in (Region.HOT, Region.COLD):
+            active = self._active[region]
+            if active is not None:
+                mask[active] = False
+        return mask
+
+    # -- invariants ---------------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        free = set(self._free)
+        if len(free) != len(self._free):
+            raise AssertionError("duplicate block in free pool")
+        for block in free:
+            if self.flash.write_ptr[block] != 0:
+                raise AssertionError(f"free block {block} has programmed pages")
+            if self.block_region[block] != -1:
+                raise AssertionError(f"free block {block} still tagged")
+        for region, active in self._active.items():
+            if active is not None and active in free:
+                raise AssertionError(f"active block {active} is also free")
+            if active is not None and self.block_region[active] != region:
+                raise AssertionError(f"active block {active} tagged wrong region")
+        for region in (Region.HOT, Region.COLD):
+            tagged = int((self.block_region == region).sum())
+            if tagged != self.region_blocks[region]:
+                raise AssertionError(
+                    f"region {Region.NAMES[region]} count {self.region_blocks[region]} "
+                    f"!= tagged blocks {tagged}"
+                )
+
+
+class WearAwareAllocator(BlockAllocator):
+    """Allocator practicing dynamic wear leveling.
+
+    New active blocks are drawn least-worn-first instead of FIFO, so
+    erase cycles spread evenly across the array — the wear-leveling
+    concern the paper's victim-selection discussion raises against pure
+    greedy GC.  O(free blocks) per block pull, amortized over
+    ``pages_per_block`` page allocations.
+    """
+
+    def _pull_free(self, region: int) -> int:
+        if not self._free:
+            self._no_free()
+        erase_count = self.flash.erase_count
+        index = min(range(len(self._free)), key=lambda i: erase_count[self._free[i]])
+        return self._take_block(index, region)

@@ -1,0 +1,43 @@
+"""Victim-block selection policies for garbage collection.
+
+The paper's sensitivity study (section IV-C, Fig 13) evaluates CAGC
+under three classic policies; all three are implemented here behind a
+common interface so any FTL scheme composes with any policy.
+"""
+
+from repro.ftl.gc.policy import VictimPolicy
+from repro.ftl.gc.random_policy import RandomPolicy
+from repro.ftl.gc.greedy import GreedyPolicy
+from repro.ftl.gc.cost_benefit import CostBenefitPolicy
+from repro.ftl.gc.region_aware import RegionAwarePolicy
+
+POLICIES = {
+    "random": RandomPolicy,
+    "greedy": GreedyPolicy,
+    "cost-benefit": CostBenefitPolicy,
+}
+
+
+def make_policy(name: str, seed: int = 0) -> VictimPolicy:
+    """Instantiate a victim policy by name (``random``, ``greedy``,
+    ``cost-benefit``)."""
+    try:
+        cls = POLICIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown victim policy {name!r}; choose from {sorted(POLICIES)}"
+        ) from None
+    if cls is RandomPolicy:
+        return RandomPolicy(seed=seed)
+    return cls()
+
+
+__all__ = [
+    "VictimPolicy",
+    "RandomPolicy",
+    "GreedyPolicy",
+    "CostBenefitPolicy",
+    "RegionAwarePolicy",
+    "POLICIES",
+    "make_policy",
+]

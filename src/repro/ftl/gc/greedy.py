@@ -1,0 +1,32 @@
+"""Greedy victim selection: most invalid pages first.
+
+The paper's default policy (section IV-A): erasing the block with the
+most invalid pages reclaims the most space per erase and migrates the
+fewest valid pages.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.flash.chip import FlashArray
+from repro.ftl.gc.policy import VictimPolicy
+
+
+class GreedyPolicy(VictimPolicy):
+    """Select the candidate block with the maximum invalid-page count."""
+
+    name = "greedy"
+
+    def select(
+        self, flash: FlashArray, candidates: np.ndarray, now_us: float
+    ) -> Optional[int]:
+        if not candidates.any():
+            return None
+        # Masked argmax without copying the counter array: invalid pages
+        # are >= 1 for every candidate, so zeroing non-candidates suffices.
+        scores = np.where(candidates, flash.invalid_count, 0)
+        block = int(scores.argmax())
+        return block if candidates[block] else None

@@ -1,0 +1,31 @@
+"""Victim-selection policy interface."""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+import numpy as np
+
+from repro.flash.chip import FlashArray
+
+
+class VictimPolicy(abc.ABC):
+    """Chooses which eligible block GC erases next.
+
+    ``select`` receives the flash array (for valid/invalid counters and
+    ages), a boolean eligibility mask from the allocator, and the current
+    simulation time; it returns a block index or ``None`` when no block
+    is eligible.
+    """
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def select(
+        self, flash: FlashArray, candidates: np.ndarray, now_us: float
+    ) -> Optional[int]:
+        """Pick a victim block, or ``None`` if ``candidates`` is empty."""
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"{type(self).__name__}()"

@@ -1,0 +1,32 @@
+"""Random victim selection.
+
+Picks uniformly among eligible blocks — the cheap wear-friendly policy
+the paper cites as the first classical approach.  Seeded for
+reproducible runs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.flash.chip import FlashArray
+from repro.ftl.gc.policy import VictimPolicy
+
+
+class RandomPolicy(VictimPolicy):
+    """Uniform choice over eligible victim blocks."""
+
+    name = "random"
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = np.random.default_rng(seed)
+
+    def select(
+        self, flash: FlashArray, candidates: np.ndarray, now_us: float
+    ) -> Optional[int]:
+        indices = np.nonzero(candidates)[0]
+        if indices.size == 0:
+            return None
+        return int(self._rng.choice(indices))

@@ -1,0 +1,36 @@
+"""Region-aware victim preference (paper section III-C).
+
+"The flash blocks in the Hot Region are desirable candidates for victim
+blocks since they are likely to contain very few valid pages" — this
+wrapper restricts any base policy's candidate set to hot-region blocks
+and falls back to the full set only when the hot region offers no
+victim.  Cold-region blocks (highly-shared pages) are then never
+disturbed unless the device has nothing else to reclaim.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.flash.chip import FlashArray
+from repro.ftl.allocator import BlockAllocator, Region
+from repro.ftl.gc.policy import VictimPolicy
+
+
+class RegionAwarePolicy(VictimPolicy):
+    """Wraps a base policy, preferring hot-region victims."""
+
+    def __init__(self, base: VictimPolicy, allocator: BlockAllocator) -> None:
+        self.base = base
+        self.allocator = allocator
+        self.name = f"hot-first({base.name})"
+
+    def select(
+        self, flash: FlashArray, candidates: np.ndarray, now_us: float
+    ) -> Optional[int]:
+        hot_only = candidates & (self.allocator.block_region == Region.HOT)
+        if hot_only.any():
+            return self.base.select(flash, hot_only, now_us)
+        return self.base.select(flash, candidates, now_us)

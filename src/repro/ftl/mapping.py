@@ -1,0 +1,108 @@
+"""Page-level address mapping with shared physical pages.
+
+A classic page-mapped FTL keeps LPN -> PPN.  Deduplication makes the
+relation many-to-one: several LPNs may share one physical page.  The
+table therefore also maintains the reverse map PPN -> {LPNs}; the size
+of that set *is* the page's reference count (the quantity CAGC's
+placement policy keys on).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set
+
+
+class MappingError(RuntimeError):
+    """Raised on inconsistent mapping operations (FTL bugs)."""
+
+
+class MappingTable:
+    """LPN->PPN map plus reverse map for shared pages."""
+
+    def __init__(self) -> None:
+        self._fwd: Dict[int, int] = {}
+        self._rev: Dict[int, Set[int]] = {}
+
+    def __len__(self) -> int:
+        return len(self._fwd)
+
+    # -- queries ---------------------------------------------------------------
+
+    def lookup(self, lpn: int) -> Optional[int]:
+        """PPN currently holding ``lpn``, or ``None`` if never written."""
+        return self._fwd.get(lpn)
+
+    def is_mapped(self, ppn: int) -> bool:
+        return ppn in self._rev
+
+    def refcount(self, ppn: int) -> int:
+        """Number of LPNs sharing physical page ``ppn`` (0 if unmapped)."""
+        refs = self._rev.get(ppn)
+        return len(refs) if refs else 0
+
+    def lpns_of(self, ppn: int) -> List[int]:
+        """All LPNs mapped to ``ppn`` (copy; safe to mutate the table)."""
+        return list(self._rev.get(ppn, ()))
+
+    def mapped_ppns(self) -> Iterable[int]:
+        return self._rev.keys()
+
+    # -- mutations ---------------------------------------------------------------
+
+    def bind(self, lpn: int, ppn: int) -> Optional[int]:
+        """Map ``lpn`` to ``ppn``; return the previous PPN of ``lpn``.
+
+        The caller decides what to do with the previous PPN (it becomes
+        invalid only when its reference count drops to zero).
+        """
+        old = self._fwd.get(lpn)
+        if old is not None:
+            refs = self._rev[old]
+            refs.discard(lpn)
+            if not refs:
+                del self._rev[old]
+        self._fwd[lpn] = ppn
+        self._rev.setdefault(ppn, set()).add(lpn)
+        return old
+
+    def unbind(self, lpn: int) -> Optional[int]:
+        """Remove ``lpn``'s mapping (trim); return the PPN it held."""
+        old = self._fwd.pop(lpn, None)
+        if old is not None:
+            refs = self._rev[old]
+            refs.discard(lpn)
+            if not refs:
+                del self._rev[old]
+        return old
+
+    def remap_ppn(self, old_ppn: int, new_ppn: int) -> int:
+        """Point every LPN of ``old_ppn`` at ``new_ppn`` (GC migration).
+
+        Returns the number of LPNs moved.  ``new_ppn`` may already have
+        its own referrers (dedup merge during CAGC migration).
+        """
+        refs = self._rev.pop(old_ppn, None)
+        if refs is None:
+            return 0
+        if old_ppn == new_ppn:
+            raise MappingError("remap_ppn to the same PPN")
+        target = self._rev.setdefault(new_ppn, set())
+        for lpn in refs:
+            self._fwd[lpn] = new_ppn
+            target.add(lpn)
+        return len(refs)
+
+    # -- invariants ----------------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Forward and reverse maps must mirror each other (test hook)."""
+        count = 0
+        for ppn, refs in self._rev.items():
+            if not refs:
+                raise AssertionError(f"empty referrer set for ppn {ppn}")
+            for lpn in refs:
+                if self._fwd.get(lpn) != ppn:
+                    raise AssertionError(f"rev says {lpn}->{ppn}, fwd disagrees")
+            count += len(refs)
+        if count != len(self._fwd):
+            raise AssertionError("reverse map cardinality mismatch")

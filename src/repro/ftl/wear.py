@@ -1,0 +1,37 @@
+"""Wear-leveling statistics over per-block erase counts.
+
+The paper argues CAGC improves *reliability* by erasing fewer blocks;
+these helpers quantify that: total erases, mean/max erase count and the
+coefficient of variation (lower = more even wear).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.flash.chip import FlashArray
+
+
+@dataclass(frozen=True)
+class WearStats:
+    """Summary of block-erase wear across the device."""
+
+    total_erases: int
+    max_erase: int
+    mean_erase: float
+    std_erase: float
+
+    @property
+    def cov(self) -> float:
+        """Coefficient of variation of erase counts (0 = perfectly even)."""
+        return self.std_erase / self.mean_erase if self.mean_erase > 0 else 0.0
+
+
+def wear_stats(flash: FlashArray) -> WearStats:
+    counts = flash.erase_count
+    return WearStats(
+        total_erases=int(counts.sum()),
+        max_erase=int(counts.max()) if counts.size else 0,
+        mean_erase=float(counts.mean()) if counts.size else 0.0,
+        std_erase=float(counts.std()) if counts.size else 0.0,
+    )

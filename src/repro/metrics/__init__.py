@@ -1,0 +1,17 @@
+"""Measurement: latency recording, GC counters, CDFs, report tables."""
+
+from repro.metrics.latency import LatencyRecorder, LatencySummary
+from repro.metrics.counters import GCCounters, IOCounters
+from repro.metrics.cdf import empirical_cdf, cdf_at
+from repro.metrics.report import format_table, normalize
+
+__all__ = [
+    "LatencyRecorder",
+    "LatencySummary",
+    "GCCounters",
+    "IOCounters",
+    "empirical_cdf",
+    "cdf_at",
+    "format_table",
+    "normalize",
+]

@@ -1,0 +1,42 @@
+"""Empirical cumulative distribution functions (paper Fig 12)."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def empirical_cdf(samples: np.ndarray, points: int = 200) -> Tuple[np.ndarray, np.ndarray]:
+    """Return ``(x, F(x))`` evaluated at ``points`` evenly spaced x.
+
+    ``F(x)`` is the fraction of samples <= x; x spans [0, max(sample)].
+    Empty input yields empty arrays.
+    """
+    samples = np.asarray(samples, dtype=np.float64)
+    if samples.size == 0:
+        return np.empty(0), np.empty(0)
+    if points < 2:
+        raise ValueError("points must be >= 2")
+    xs = np.linspace(0.0, float(samples.max()), points)
+    sorted_samples = np.sort(samples)
+    fs = np.searchsorted(sorted_samples, xs, side="right") / samples.size
+    return xs, fs
+
+
+def cdf_at(samples: np.ndarray, x: float) -> float:
+    """Fraction of samples <= ``x``."""
+    samples = np.asarray(samples, dtype=np.float64)
+    if samples.size == 0:
+        return 0.0
+    return float((samples <= x).mean())
+
+
+def quantile(samples: np.ndarray, q: float) -> float:
+    """The q-quantile (0..1) of the samples."""
+    samples = np.asarray(samples, dtype=np.float64)
+    if samples.size == 0:
+        return 0.0
+    if not 0.0 <= q <= 1.0:
+        raise ValueError("q must be in [0, 1]")
+    return float(np.quantile(samples, q))

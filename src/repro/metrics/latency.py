@@ -1,0 +1,87 @@
+"""Per-request latency capture and summarization.
+
+Response time = completion − arrival, including queueing delay — the
+quantity Figs 2, 11 and 12 report.  Samples append into a growable
+NumPy buffer (amortized O(1), no Python-list boxing of half a million
+floats).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Summary statistics of one run's response times (microseconds)."""
+
+    count: int
+    mean_us: float
+    median_us: float
+    p95_us: float
+    p99_us: float
+    p999_us: float
+    max_us: float
+
+    def as_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "mean_us": self.mean_us,
+            "median_us": self.median_us,
+            "p95_us": self.p95_us,
+            "p99_us": self.p99_us,
+            "p999_us": self.p999_us,
+            "max_us": self.max_us,
+        }
+
+
+_EMPTY = LatencySummary(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+
+
+class LatencyRecorder:
+    """Growable buffer of response-time samples."""
+
+    def __init__(self, capacity: int = 1024) -> None:
+        self._buf = np.empty(max(capacity, 16), dtype=np.float64)
+        self._n = 0
+
+    def __len__(self) -> int:
+        return self._n
+
+    def record(self, latency_us: float) -> None:
+        if latency_us < 0:
+            raise ValueError(f"negative latency {latency_us}")
+        if self._n == len(self._buf):
+            grown = np.empty(len(self._buf) * 2, dtype=np.float64)
+            grown[: self._n] = self._buf
+            self._buf = grown
+        self._buf[self._n] = latency_us
+        self._n += 1
+
+    def samples(self) -> np.ndarray:
+        """View of the recorded samples (do not mutate)."""
+        return self._buf[: self._n]
+
+    def summary(self) -> LatencySummary:
+        if self._n == 0:
+            return _EMPTY
+        samples = self.samples()
+        q = np.percentile(samples, [50, 95, 99, 99.9])
+        return LatencySummary(
+            count=self._n,
+            mean_us=float(samples.mean()),
+            median_us=float(q[0]),
+            p95_us=float(q[1]),
+            p99_us=float(q[2]),
+            p999_us=float(q[3]),
+            max_us=float(samples.max()),
+        )
+
+    def cdf(self, points: int = 200) -> Tuple[np.ndarray, np.ndarray]:
+        """(x, F(x)) pairs of the empirical CDF (Fig 12)."""
+        from repro.metrics.cdf import empirical_cdf
+
+        return empirical_cdf(self.samples(), points)

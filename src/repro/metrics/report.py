@@ -1,0 +1,60 @@
+"""Plain-text report helpers: fixed-width tables and normalization.
+
+Every experiment prints its results as rows matching the paper's
+figures; these helpers keep the formatting in one place.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Union
+
+Number = Union[int, float]
+
+
+def normalize(values: Dict[str, Number], baseline_key: str) -> Dict[str, float]:
+    """Divide every value by the baseline's (the paper's normalized plots).
+
+    A zero baseline maps everything to 0 to avoid propagating infinities
+    into report tables.
+    """
+    base = float(values[baseline_key])
+    if base == 0.0:
+        return {k: 0.0 for k in values}
+    return {k: float(v) / base for k, v in values.items()}
+
+
+def reduction_pct(baseline: Number, improved: Number) -> float:
+    """Percent reduction of ``improved`` relative to ``baseline``."""
+    if baseline == 0:
+        return 0.0
+    return 100.0 * (1.0 - float(improved) / float(baseline))
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:,.3f}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]], title: str = ""
+) -> str:
+    """Render a fixed-width text table."""
+    str_rows: List[List[str]] = [[_fmt(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    sep = "  "
+    lines.append(sep.join(h.ljust(widths[i]) for i, h in enumerate(h for h in headers)))
+    lines.append(sep.join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append(sep.join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)

@@ -1,0 +1,70 @@
+"""Time-series capture of device state during a run.
+
+Records named series of (time, value) samples — free-space fraction,
+cumulative erases, GC busy time — so studies can see *when* GC pressure
+builds, not just totals.  Samples append into growable NumPy buffers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+
+class _Series:
+    __slots__ = ("times", "values", "n")
+
+    def __init__(self) -> None:
+        self.times = np.empty(64, dtype=np.float64)
+        self.values = np.empty(64, dtype=np.float64)
+        self.n = 0
+
+    def append(self, t: float, v: float) -> None:
+        if self.n == len(self.times):
+            self.times = np.concatenate([self.times, np.empty_like(self.times)])
+            self.values = np.concatenate([self.values, np.empty_like(self.values)])
+        self.times[self.n] = t
+        self.values[self.n] = v
+        self.n += 1
+
+
+class TimelineRecorder:
+    """Named (time, value) series with O(1) amortized appends."""
+
+    def __init__(self) -> None:
+        self._series: Dict[str, _Series] = {}
+
+    def sample(self, name: str, time_us: float, value: float) -> None:
+        series = self._series.get(name)
+        if series is None:
+            series = self._series[name] = _Series()
+        series.append(time_us, value)
+
+    def names(self) -> List[str]:
+        return sorted(self._series)
+
+    def series(self, name: str) -> Tuple[np.ndarray, np.ndarray]:
+        """(times, values) arrays for one series (copies)."""
+        s = self._series.get(name)
+        if s is None:
+            return np.empty(0), np.empty(0)
+        return s.times[: s.n].copy(), s.values[: s.n].copy()
+
+    def last(self, name: str) -> Tuple[float, float]:
+        s = self._series.get(name)
+        if s is None or s.n == 0:
+            raise KeyError(f"no samples for series {name!r}")
+        return float(s.times[s.n - 1]), float(s.values[s.n - 1])
+
+    def resample(self, name: str, points: int = 50) -> Tuple[np.ndarray, np.ndarray]:
+        """Step-interpolate a series onto an even time grid (for text
+        plots and comparisons between runs of different event counts)."""
+        times, values = self.series(name)
+        if times.size == 0:
+            return np.empty(0), np.empty(0)
+        if points < 2:
+            raise ValueError("points must be >= 2")
+        grid = np.linspace(times[0], times[-1], points)
+        idx = np.clip(np.searchsorted(times, grid, side="right") - 1, 0, times.size - 1)
+        return grid, values[idx]

@@ -1,0 +1,37 @@
+"""FTL schemes: Baseline, Inline-Dedupe, and (in repro.core) CAGC."""
+
+from repro.schemes.base import FTLScheme, WriteOutcome, GCBlockOutcome
+from repro.schemes.baseline import BaselineScheme
+from repro.schemes.inline_dedupe import InlineDedupeScheme
+from repro.schemes.lba_hotcold import LBAHotColdScheme
+
+
+def make_scheme(name: str, config, policy=None):
+    """Instantiate a scheme by name: ``baseline``, ``inline-dedupe``,
+    ``cagc``, or the related-work comparator ``lba-hotcold``."""
+    from repro.core.cagc import CAGCScheme
+
+    schemes = {
+        "baseline": BaselineScheme,
+        "inline-dedupe": InlineDedupeScheme,
+        "cagc": CAGCScheme,
+        "lba-hotcold": LBAHotColdScheme,
+    }
+    try:
+        cls = schemes[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown scheme {name!r}; choose from {sorted(schemes)}"
+        ) from None
+    return cls(config, policy=policy)
+
+
+__all__ = [
+    "FTLScheme",
+    "WriteOutcome",
+    "GCBlockOutcome",
+    "BaselineScheme",
+    "InlineDedupeScheme",
+    "LBAHotColdScheme",
+    "make_scheme",
+]

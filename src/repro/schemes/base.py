@@ -1,0 +1,309 @@
+"""Common FTL machinery shared by all three schemes.
+
+An :class:`FTLScheme` owns the full FTL state — flash array, block
+allocator, mapping table, fingerprint index, refcount tracker — and
+implements the state transitions for user I/O and garbage collection.
+Subclasses specialize three points:
+
+* :meth:`write_page` — what happens on one logical page write
+  (Baseline: always program; Inline-Dedupe: hash-then-maybe-program;
+  CAGC: program, dedup deferred to GC);
+* :meth:`collect_block` — how a victim block's valid pages migrate
+  (Baseline/Inline: plain copy; CAGC: dedup + refcount placement with
+  the overlapped hash pipeline);
+* service-time composition hooks used by the device layer.
+
+The scheme mutates state and reports *structural* outcomes (pages
+programmed, pages hashed, GC durations); the device layer turns those
+into response times.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.config import SSDConfig
+from repro.dedup.index import FingerprintIndex
+from repro.dedup.refcount import RefcountTracker
+from repro.flash.chip import FlashArray, PageState
+from repro.flash.timing import FlashTiming
+from repro.ftl.allocator import BlockAllocator, Region, WearAwareAllocator
+from repro.ftl.gc import make_policy
+from repro.ftl.gc.policy import VictimPolicy
+from repro.ftl.mapping import MappingTable
+from repro.ftl.wear import WearStats, wear_stats
+from repro.metrics.counters import GCCounters, IOCounters
+
+
+@dataclass(frozen=True)
+class WriteOutcome:
+    """Structural result of one user write request."""
+
+    #: physical page programs performed (drives flash write time).
+    programs: int
+    #: pages hashed on the critical path (inline dedup only).
+    hashed_pages: int
+    #: pages satisfied by inline dedup hits.
+    dedup_hits: int
+
+
+@dataclass(frozen=True)
+class GCBlockOutcome:
+    """Structural + timing result of collecting one victim block."""
+
+    victim: int
+    duration_us: float
+    pages_examined: int
+    pages_migrated: int
+    dedup_skipped: int
+    promotions: int
+
+
+class FTLScheme(abc.ABC):
+    """Base FTL: state, bookkeeping, and the GC driver loop."""
+
+    name: str = "abstract"
+
+    def __init__(
+        self,
+        config: SSDConfig,
+        policy: Optional[VictimPolicy] = None,
+    ) -> None:
+        config.validate()
+        self.config = config
+        self.timing = FlashTiming(config.timing)
+        self.flash = FlashArray(config.geometry)
+        allocator_cls = (
+            WearAwareAllocator if config.wear_aware_allocation else BlockAllocator
+        )
+        self.allocator = allocator_cls(self.flash)
+        self.mapping = MappingTable()
+        self.index = FingerprintIndex()
+        self.tracker = RefcountTracker()
+        #: content fingerprint of every live physical page.
+        self.page_fp: Dict[int, int] = {}
+        self.policy = policy if policy is not None else make_policy("greedy")
+        self.gc_counters = GCCounters()
+        self.io_counters = IOCounters()
+
+    # ------------------------------------------------------------------ user I/O
+
+    def write_request(self, lpn: int, fps: Sequence[int], now_us: float) -> WriteOutcome:
+        """Apply an n-page write; returns the aggregate outcome."""
+        programs = 0
+        hashed = 0
+        hits = 0
+        for offset, fp in enumerate(fps):
+            out = self.write_page(lpn + offset, int(fp), now_us)
+            programs += out.programs
+            hashed += out.hashed_pages
+            hits += out.dedup_hits
+        self.io_counters.write_requests += 1
+        self.io_counters.logical_pages_written += len(fps)
+        self.io_counters.user_pages_programmed += programs
+        self.io_counters.inline_dedup_hits += hits
+        return WriteOutcome(programs=programs, hashed_pages=hashed, dedup_hits=hits)
+
+    def destage(self, pages: Sequence[Tuple[int, int]], now_us: float) -> WriteOutcome:
+        """Apply write-buffer destages: ``(lpn, fp)`` pairs, possibly
+        discontiguous.  Accounted like user page writes (they are the
+        flash-visible write traffic)."""
+        programs = 0
+        hashed = 0
+        hits = 0
+        for lpn, fp in pages:
+            out = self.write_page(lpn, fp, now_us)
+            programs += out.programs
+            hashed += out.hashed_pages
+            hits += out.dedup_hits
+        self.io_counters.logical_pages_written += len(pages)
+        self.io_counters.user_pages_programmed += programs
+        self.io_counters.inline_dedup_hits += hits
+        return WriteOutcome(programs=programs, hashed_pages=hashed, dedup_hits=hits)
+
+    def read_request(self, lpn: int, npages: int) -> int:
+        """Apply an n-page read; returns pages that are actually mapped."""
+        self.io_counters.read_requests += 1
+        self.io_counters.pages_read += npages
+        mapped = 0
+        for offset in range(npages):
+            if self.mapping.lookup(lpn + offset) is not None:
+                mapped += 1
+        return mapped
+
+    def trim_request(self, lpn: int, npages: int, now_us: float) -> int:
+        """Drop mappings for an extent (file delete); returns pages trimmed."""
+        self.io_counters.trim_requests += 1
+        trimmed = 0
+        for offset in range(npages):
+            old = self.mapping.unbind(lpn + offset)
+            if old is not None:
+                self._release_if_dead(old)
+                trimmed += 1
+        return trimmed
+
+    @abc.abstractmethod
+    def write_page(self, lpn: int, fp: int, now_us: float) -> WriteOutcome:
+        """Apply a single logical page write."""
+
+    # ------------------------------------------------------------------ GC driver
+
+    def needs_gc(self) -> bool:
+        return self.allocator.free_fraction() < self.config.gc_watermark
+
+    def needs_background_gc(self) -> bool:
+        """Idle-time GC runs until the stop watermark (preemptive mode)."""
+        return self.allocator.free_fraction() < self.config.gc_stop_watermark
+
+    def run_gc(self, now_us: float) -> float:
+        """Run a GC burst until the stop watermark; returns busy time."""
+        if not self.needs_gc():
+            return 0.0
+        self.gc_counters.gc_invocations += 1
+        duration = 0.0
+        stop = self.config.gc_stop_watermark
+        burst = 0
+        while (
+            self.allocator.free_fraction() < stop
+            and burst < self.config.gc_burst_blocks
+        ):
+            burst += 1
+            victim = self.policy.select(
+                self.flash, self.allocator.victim_candidates_mask(), now_us + duration
+            )
+            if victim is None:
+                break
+            outcome = self.collect_block(victim, now_us + duration)
+            duration += outcome.duration_us
+        return duration
+
+    def collect_next(self, now_us: float) -> float:
+        """Collect exactly one victim block; returns its duration.
+
+        The incremental unit of preemptive/idle GC: the device calls
+        this repeatedly in gaps between user requests instead of running
+        a multi-block blocking burst.  Returns 0.0 when no victim is
+        eligible.
+        """
+        victim = self.policy.select(
+            self.flash, self.allocator.victim_candidates_mask(), now_us
+        )
+        if victim is None:
+            return 0.0
+        return self.collect_block(victim, now_us).duration_us
+
+    def reserve_blocks(self) -> int:
+        """Free-block floor preemptive GC restores before a write."""
+        return max(4, self.flash.blocks // 100)
+
+    def collect_block(self, victim: int, now_us: float) -> GCBlockOutcome:
+        """Migrate valid pages out of ``victim`` and erase it.
+
+        Base implementation is the traditional GC of Fig 3: copy every
+        valid page (read + write), then erase.  No content awareness.
+        """
+        valid = self.flash.valid_ppns_in(victim)
+        for ppn in valid:
+            self._migrate_page(ppn, self._migration_region(ppn), now_us)
+        self._erase_victim(victim)
+        outcome = GCBlockOutcome(
+            victim=victim,
+            duration_us=self.timing.gc_migrate_us(len(valid)),
+            pages_examined=len(valid),
+            pages_migrated=len(valid),
+            dedup_skipped=0,
+            promotions=0,
+        )
+        self._account_gc(outcome)
+        return outcome
+
+    # ------------------------------------------------------------------ helpers
+
+    def _account_gc(self, outcome: GCBlockOutcome) -> None:
+        """Fold one collected block into the run's GC counters."""
+        self.gc_counters.merge_block(
+            pages_examined=outcome.pages_examined,
+            pages_migrated=outcome.pages_migrated,
+            dedup_skipped=outcome.dedup_skipped,
+            promotions=outcome.promotions,
+            duration_us=outcome.duration_us,
+        )
+
+    def _migration_region(self, ppn: int) -> int:
+        """Region a migrated page is rewritten into (default: keep)."""
+        region = self.allocator.region_of(self.flash.geometry.ppn_to_block(ppn))
+        return region if region in (Region.HOT, Region.COLD) else Region.HOT
+
+    def _migrate_page(self, ppn: int, region: int, now_us: float) -> int:
+        """Copy one valid page to ``region``; all metadata follows it."""
+        new_ppn = self.allocator.allocate_page(region, now_us)
+        self.mapping.remap_ppn(ppn, new_ppn)
+        if self.index.contains_ppn(ppn):
+            self.index.move(ppn, new_ppn)
+        fp = self.page_fp.pop(ppn, None)
+        if fp is not None:
+            self.page_fp[new_ppn] = fp
+        self.tracker.rekey(ppn, new_ppn)
+        self.flash.invalidate(ppn)
+        return new_ppn
+
+    def _erase_victim(self, victim: int) -> None:
+        self.flash.erase(victim)
+        self.allocator.release_block(victim)
+
+    def _program_new(self, lpn: int, fp: int, region: int, now_us: float) -> int:
+        """Program a fresh page for ``lpn`` and bind it; handles the old
+        page's reference bookkeeping."""
+        ppn = self.allocator.allocate_page(region, now_us)
+        old = self.mapping.bind(lpn, ppn)
+        self.page_fp[ppn] = fp
+        self.tracker.observe(ppn, 1)
+        if old is not None and old != ppn:
+            self._release_if_dead(old)
+        return ppn
+
+    def _release_if_dead(self, ppn: int) -> None:
+        """Invalidate a physical page once its last referrer is gone."""
+        if self.mapping.refcount(ppn) == 0:
+            self.flash.invalidate(ppn)
+            self.index.remove_ppn(ppn)
+            self.tracker.invalidated(ppn)
+            self.page_fp.pop(ppn, None)
+
+    # ------------------------------------------------------------------ inspection
+
+    def live_logical_pages(self) -> int:
+        return len(self.mapping)
+
+    def wear(self) -> WearStats:
+        return wear_stats(self.flash)
+
+    def logical_content(self) -> Dict[int, int]:
+        """LPN -> content fingerprint for every mapped page.
+
+        The read-back oracle for correctness tests: whatever the scheme,
+        GC activity and dedup must never change this map (other than by
+        user writes/trims themselves).
+        """
+        return {
+            lpn: self.page_fp[ppn]
+            for ppn in self.mapping.mapped_ppns()
+            for lpn in self.mapping.lpns_of(ppn)
+        }
+
+    def check_invariants(self) -> None:
+        """Full cross-structure consistency check (tests only: O(pages))."""
+        self.flash.check_invariants()
+        self.allocator.check_invariants()
+        self.mapping.check_invariants()
+        self.index.check_invariants()
+        for ppn in self.mapping.mapped_ppns():
+            if self.flash.state_of(ppn) != PageState.VALID:
+                raise AssertionError(f"mapped ppn {ppn} not VALID in flash")
+            if ppn not in self.page_fp:
+                raise AssertionError(f"mapped ppn {ppn} has no fingerprint")
+        for ppn in self.page_fp:
+            if self.mapping.refcount(ppn) == 0:
+                raise AssertionError(f"page_fp holds dead ppn {ppn}")

@@ -1,0 +1,23 @@
+"""Baseline scheme: a plain ULL SSD with no deduplication anywhere.
+
+Every logical page write programs a fresh physical page; overwrites
+invalidate the old page; GC copies valid pages verbatim (Fig 3's
+traditional workflow).  This is the paper's "Baseline" bar.
+"""
+
+from __future__ import annotations
+
+from repro.ftl.allocator import Region
+from repro.schemes.base import FTLScheme, WriteOutcome
+
+_ONE_PROGRAM = WriteOutcome(programs=1, hashed_pages=0, dedup_hits=0)
+
+
+class BaselineScheme(FTLScheme):
+    """No dedup: one program per logical page write."""
+
+    name = "baseline"
+
+    def write_page(self, lpn: int, fp: int, now_us: float) -> WriteOutcome:
+        self._program_new(lpn, fp, Region.HOT, now_us)
+        return _ONE_PROGRAM

@@ -1,0 +1,6 @@
+"""Discrete-event simulation engine underpinning the SSD model."""
+
+from repro.sim.events import Event, EventKind
+from repro.sim.engine import EventQueue, Simulator
+
+__all__ = ["Event", "EventKind", "EventQueue", "Simulator"]

@@ -1,0 +1,136 @@
+"""Event queue and simulation driver.
+
+The engine is deliberately minimal: a binary-heap event queue plus a
+clock.  Device models (see :mod:`repro.device`) schedule events and react
+to them via callbacks.  Per the paper's FlashSim lineage the simulation
+is single-threaded and deterministic; throughput comes from keeping the
+per-event work O(1), not from concurrency.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional
+
+from repro.sim.events import Event, EventKind
+
+
+class SimulationError(RuntimeError):
+    """Raised on engine misuse (e.g. scheduling into the past)."""
+
+
+class EventQueue:
+    """A deterministic priority queue of :class:`Event` objects."""
+
+    def __init__(self) -> None:
+        self._heap: List[Event] = []
+        self._seq = 0
+        self._live = 0
+
+    def __len__(self) -> int:
+        return self._live
+
+    def push(
+        self,
+        time: float,
+        kind: EventKind = EventKind.GENERIC,
+        payload: Any = None,
+        callback: Optional[Callable[[Event], None]] = None,
+    ) -> Event:
+        event = Event(time=time, kind=kind, seq=self._seq, payload=payload, callback=callback)
+        self._seq += 1
+        self._live += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Event:
+        """Remove and return the earliest live event."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._live -= 1
+            return event
+        raise IndexError("pop from empty EventQueue")
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the earliest live event, or ``None`` if empty."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    def cancel(self, event: Event) -> None:
+        if not event.cancelled:
+            event.cancel()
+            self._live -= 1
+
+
+class Simulator:
+    """Clock + event queue + run loop.
+
+    A :class:`Simulator` owns the master clock (float microseconds).
+    Components schedule callbacks with :meth:`schedule`; :meth:`run`
+    drains the queue, advancing the clock monotonically.
+    """
+
+    def __init__(self) -> None:
+        self.queue = EventQueue()
+        self.now: float = 0.0
+        self.events_processed: int = 0
+
+    def schedule(
+        self,
+        delay: float,
+        kind: EventKind = EventKind.GENERIC,
+        payload: Any = None,
+        callback: Optional[Callable[[Event], None]] = None,
+    ) -> Event:
+        """Schedule ``callback`` to run ``delay`` microseconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        return self.queue.push(self.now + delay, kind, payload, callback)
+
+    def schedule_at(
+        self,
+        time: float,
+        kind: EventKind = EventKind.GENERIC,
+        payload: Any = None,
+        callback: Optional[Callable[[Event], None]] = None,
+    ) -> Event:
+        """Schedule ``callback`` at absolute simulation ``time``."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule into the past (time={time}, now={self.now})"
+            )
+        return self.queue.push(time, kind, payload, callback)
+
+    def step(self) -> bool:
+        """Process one event; return ``False`` when the queue is empty."""
+        if len(self.queue) == 0:
+            return False
+        event = self.queue.pop()
+        if event.time < self.now:
+            raise SimulationError(
+                f"event time {event.time} precedes clock {self.now}"
+            )
+        self.now = event.time
+        self.events_processed += 1
+        if event.callback is not None:
+            event.callback(event)
+        return True
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        """Drain the queue, optionally stopping at ``until`` microseconds
+        or after ``max_events`` callbacks."""
+        processed = 0
+        while len(self.queue) > 0:
+            next_time = self.queue.peek_time()
+            if until is not None and next_time is not None and next_time > until:
+                self.now = until
+                return
+            if max_events is not None and processed >= max_events:
+                return
+            self.step()
+            processed += 1
+        if until is not None and until > self.now:
+            self.now = until

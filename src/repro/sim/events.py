@@ -1,0 +1,46 @@
+"""Typed simulation events.
+
+Events are ordered by ``(time, priority, seq)``: equal-time events are
+broken first by an explicit priority (completions before arrivals, so a
+device frees its channel before the next request is admitted) and then
+by insertion order, making every run bit-for-bit deterministic.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+
+class EventKind(enum.IntEnum):
+    """Kinds of events the SSD simulation schedules.
+
+    The integer value doubles as the equal-time tie-break priority:
+    lower values run first.
+    """
+
+    OP_COMPLETE = 0      # a flash operation finished on a channel
+    GC_COMPLETE = 1      # a garbage-collection burst finished
+    REQUEST_ARRIVAL = 2  # a user I/O request arrives at the device
+    GENERIC = 3          # user-scheduled callback
+
+
+@dataclass(order=True)
+class Event:
+    """A single scheduled occurrence in the simulation.
+
+    Comparison ordering (time, kind, seq) is what :class:`heapq` uses;
+    ``payload`` and ``callback`` are excluded from ordering.
+    """
+
+    time: float
+    kind: EventKind
+    seq: int
+    payload: Any = field(compare=False, default=None)
+    callback: Optional[Callable[["Event"], None]] = field(compare=False, default=None)
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        """Mark the event dead; the queue will skip it on pop."""
+        self.cancelled = True

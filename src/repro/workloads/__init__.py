@@ -1,0 +1,31 @@
+"""Workloads: request/trace containers, synthetic FIU-like generation."""
+
+from repro.workloads.request import IORequest, OpKind
+from repro.workloads.trace import Trace, TraceStats
+from repro.workloads.synth import TraceSpec, generate_trace
+from repro.workloads.fiu import (
+    FIU_PRESETS,
+    MAIL,
+    HOMES,
+    WEB_VM,
+    WEBMAIL,
+    build_fiu_trace,
+)
+from repro.workloads.filemodel import FileStore, FileModelTrace
+
+__all__ = [
+    "IORequest",
+    "OpKind",
+    "Trace",
+    "TraceStats",
+    "TraceSpec",
+    "generate_trace",
+    "FIU_PRESETS",
+    "MAIL",
+    "HOMES",
+    "WEB_VM",
+    "WEBMAIL",
+    "build_fiu_trace",
+    "FileStore",
+    "FileModelTrace",
+]

@@ -1,0 +1,120 @@
+"""Workload analysis: the characteristics that drive GC and dedup.
+
+Computes, for any :class:`Trace`, the quantities the paper's evaluation
+implicitly depends on: working-set size, overwrite (update) intensity,
+content popularity skew, and per-content sharing — the inputs a reader
+needs to judge whether a synthetic trace exercises the same mechanisms
+as the original.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.workloads.request import OpKind
+from repro.workloads.trace import Trace
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """Derived characteristics of one trace."""
+
+    working_set_pages: int
+    written_pages: int
+    #: mean number of times a written LPN is (re)written.
+    mean_overwrites: float
+    #: fraction of page writes that hit an already-written LPN.
+    update_fraction: float
+    #: unique content count across all written pages.
+    unique_contents: int
+    #: share of written pages carried by the 1% most popular contents.
+    top1pct_content_share: float
+    #: mean sharers per live content at end of trace (refcount proxy).
+    mean_final_refcount: float
+
+
+def _written_lpn_counts(trace: Trace) -> Counter:
+    counts: Counter = Counter()
+    write = int(OpKind.WRITE)
+    for _, op, lpn, npages, _ in trace.iter_rows():
+        if op == write:
+            for offset in range(npages):
+                counts[lpn + offset] += 1
+    return counts
+
+
+def content_popularity(trace: Trace) -> np.ndarray:
+    """Occurrence counts per unique content, descending."""
+    if len(trace.fps_flat) == 0:
+        return np.empty(0, dtype=np.int64)
+    _, counts = np.unique(trace.fps_flat, return_counts=True)
+    return np.sort(counts)[::-1]
+
+
+def final_content_refcounts(trace: Trace) -> Dict[int, int]:
+    """Sharers per content after the trace fully replays.
+
+    Applies write/trim semantics to an LPN -> content map and counts,
+    for each content still live, how many LPNs reference it — the
+    refcount distribution CAGC's placement exploits.
+    """
+    lpn_content: Dict[int, int] = {}
+    write = int(OpKind.WRITE)
+    trim = int(OpKind.TRIM)
+    for _, op, lpn, npages, fps in trace.iter_rows():
+        if op == write:
+            for offset in range(npages):
+                lpn_content[lpn + offset] = int(fps[offset])
+        elif op == trim:
+            for offset in range(npages):
+                lpn_content.pop(lpn + offset, None)
+    refcounts: Counter = Counter(lpn_content.values())
+    return dict(refcounts)
+
+
+def profile_trace(trace: Trace) -> WorkloadProfile:
+    """Compute the full :class:`WorkloadProfile` for a trace."""
+    lpn_counts = _written_lpn_counts(trace)
+    written_pages = sum(lpn_counts.values())
+    working_set = len(lpn_counts)
+    updates = written_pages - working_set
+    popularity = content_popularity(trace)
+    if popularity.size:
+        top_n = max(1, int(np.ceil(popularity.size * 0.01)))
+        top_share = float(popularity[:top_n].sum() / popularity.sum())
+    else:
+        top_share = 0.0
+    refcounts = final_content_refcounts(trace)
+    mean_ref = (
+        float(np.mean(list(refcounts.values()))) if refcounts else 0.0
+    )
+    return WorkloadProfile(
+        working_set_pages=working_set,
+        written_pages=written_pages,
+        mean_overwrites=written_pages / working_set if working_set else 0.0,
+        update_fraction=updates / written_pages if written_pages else 0.0,
+        unique_contents=int(popularity.size),
+        top1pct_content_share=top_share,
+        mean_final_refcount=mean_ref,
+    )
+
+
+def refcount_histogram(trace: Trace, buckets: Tuple[int, ...] = (1, 2, 3)) -> List[Tuple[str, float]]:
+    """Fraction of live contents at each refcount (last bucket is >max).
+
+    The static analogue of Fig 6's dynamic invalidation histogram.
+    """
+    refcounts = final_content_refcounts(trace)
+    total = len(refcounts)
+    if total == 0:
+        return [(str(b), 0.0) for b in buckets] + [(f">{buckets[-1]}", 0.0)]
+    values = np.array(list(refcounts.values()))
+    rows: List[Tuple[str, float]] = []
+    for bucket in buckets:
+        rows.append((str(bucket), float((values == bucket).mean())))
+    rows.append((f">{buckets[-1]}", float((values > buckets[-1]).mean())))
+    return rows

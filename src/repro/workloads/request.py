@@ -1,0 +1,50 @@
+"""User I/O request model.
+
+Requests are page-granular, like the FIU content traces the paper
+replays: every request covers ``npages`` consecutive 4 KB logical pages
+starting at ``lpn``, and write requests carry one content fingerprint
+per page (the trace-embedded hash that enables dedup studies).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+
+class OpKind(enum.IntEnum):
+    """Request opcodes (integer-valued for compact array storage)."""
+
+    READ = 0
+    WRITE = 1
+    TRIM = 2
+
+
+@dataclass(frozen=True)
+class IORequest:
+    """One user I/O: arrival time, op, page extent, per-page fingerprints."""
+
+    time_us: float
+    op: OpKind
+    lpn: int
+    npages: int
+    #: one fingerprint per page for WRITE, ``None`` otherwise.
+    fingerprints: Optional[Tuple[int, ...]] = None
+
+    def __post_init__(self) -> None:
+        if self.npages <= 0:
+            raise ValueError("npages must be positive")
+        if self.op == OpKind.WRITE:
+            if self.fingerprints is None or len(self.fingerprints) != self.npages:
+                raise ValueError("WRITE requires one fingerprint per page")
+        elif self.fingerprints is not None:
+            raise ValueError(f"{self.op.name} carries no fingerprints")
+
+    @property
+    def lpns(self) -> range:
+        return range(self.lpn, self.lpn + self.npages)
+
+    @property
+    def bytes(self) -> int:
+        return self.npages * 4096

@@ -1,0 +1,172 @@
+"""Synthetic FIU-like trace generator.
+
+The FIU SyLab content traces (Homes, Web-vm, Mail) the paper replays are
+not redistributable, so experiments run on synthetic traces whose
+first-order characteristics match Table II:
+
+* **write ratio** — fraction of requests that are writes;
+* **dedup ratio** — fraction of written pages whose content duplicates
+  earlier content (controlled by a popular-content pool with a Zipf
+  popularity law, the empirical shape of the FIU traces);
+* **mean request size** — geometric page-count distribution;
+* **spatial locality** — hot/cold LPN split (default 80 % of accesses to
+  20 % of the logical space), which gives flash blocks the skewed
+  invalidation profile real GC studies rely on;
+* **reference-count skew** — falls out of the Zipf content model: most
+  content is written once (refcount 1, dies on overwrite), a small pool
+  is shared widely (high refcount, essentially immortal) — reproducing
+  the paper's Fig 6 distribution.
+
+Generation is fully vectorized with NumPy and deterministic per seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+import numpy as np
+
+from repro.workloads.request import OpKind
+from repro.workloads.trace import Trace
+
+#: Unique (non-pool) content ids start here so the two populations never
+#: collide; pool ids occupy [0, popular_pool).
+_UNIQUE_FP_BASE = 1 << 40
+
+
+@dataclass(frozen=True)
+class TraceSpec:
+    """Parameters of one synthetic workload."""
+
+    name: str = "synthetic"
+    n_requests: int = 100_000
+    write_ratio: float = 0.7
+    dedup_ratio: float = 0.5
+    avg_req_pages: float = 4.0
+    max_req_pages: int = 64
+    #: logical page span addressed by the trace; callers size it to the
+    #: device (see :func:`repro.workloads.fiu.build_fiu_trace`).
+    lpn_space: int = 100_000
+    #: hot/cold spatial skew: ``hot_prob`` of accesses land in the first
+    #: ``hot_frac`` of the LPN space.
+    hot_frac: float = 0.2
+    hot_prob: float = 0.8
+    #: size of the popular-content pool duplicate pages draw from.
+    #: Callers sizing traces to a device should scale this with the
+    #: working set (see fiu.build_fiu_trace); the default suits short
+    #: standalone traces.
+    popular_pool: int = 1_024
+    #: Zipf exponent of pool popularity (1.0 ~ classic Zipf).
+    zipf_s: float = 1.0
+    #: mean exponential inter-arrival time in microseconds.
+    mean_interarrival_us: float = 100.0
+    #: fraction of requests that are TRIMs (file deletions at block level).
+    trim_ratio: float = 0.0
+    seed: int = 42
+
+    def validate(self) -> None:
+        if self.n_requests <= 0:
+            raise ValueError("n_requests must be positive")
+        if not 0.0 <= self.write_ratio <= 1.0:
+            raise ValueError("write_ratio must be in [0, 1]")
+        if not 0.0 <= self.dedup_ratio <= 1.0:
+            raise ValueError("dedup_ratio must be in [0, 1]")
+        if not 0.0 <= self.trim_ratio <= 1.0 - self.write_ratio + 1e-12:
+            raise ValueError("trim_ratio must fit in the non-write fraction")
+        if self.avg_req_pages < 1.0:
+            raise ValueError("avg_req_pages must be >= 1")
+        if self.max_req_pages < 1:
+            raise ValueError("max_req_pages must be >= 1")
+        if self.lpn_space < self.max_req_pages:
+            raise ValueError("lpn_space smaller than the largest request")
+        if not 0.0 < self.hot_frac < 1.0:
+            raise ValueError("hot_frac must be in (0, 1)")
+        if not 0.0 <= self.hot_prob <= 1.0:
+            raise ValueError("hot_prob must be in [0, 1]")
+        if self.popular_pool < 1:
+            raise ValueError("popular_pool must be >= 1")
+        if self.mean_interarrival_us <= 0:
+            raise ValueError("mean_interarrival_us must be positive")
+
+    def with_overrides(self, **kwargs: object) -> "TraceSpec":
+        spec = replace(self, **kwargs)  # type: ignore[arg-type]
+        spec.validate()
+        return spec
+
+
+def _zipf_weights(pool: int, s: float) -> np.ndarray:
+    ranks = np.arange(1, pool + 1, dtype=np.float64)
+    weights = ranks ** (-s)
+    return weights / weights.sum()
+
+
+def _sample_sizes(rng: np.random.Generator, spec: TraceSpec, n: int) -> np.ndarray:
+    """Geometric request sizes with the spec's mean, clipped to max."""
+    if spec.avg_req_pages <= 1.0:
+        return np.ones(n, dtype=np.int32)
+    p = 1.0 / spec.avg_req_pages
+    sizes = rng.geometric(p, size=n)
+    return np.clip(sizes, 1, spec.max_req_pages).astype(np.int32)
+
+
+def _sample_lpns(
+    rng: np.random.Generator, spec: TraceSpec, sizes: np.ndarray
+) -> np.ndarray:
+    """Start LPNs with hot/cold skew; each extent fits its zone."""
+    n = len(sizes)
+    hot_pages = max(int(spec.lpn_space * spec.hot_frac), spec.max_req_pages)
+    cold_base = hot_pages
+    cold_pages = max(spec.lpn_space - hot_pages, spec.max_req_pages)
+    in_hot = rng.random(n) < spec.hot_prob
+    u = rng.random(n)
+    hot_span = np.maximum(hot_pages - sizes, 1)
+    cold_span = np.maximum(cold_pages - sizes, 1)
+    lpns = np.where(
+        in_hot,
+        (u * hot_span).astype(np.int64),
+        cold_base + (u * cold_span).astype(np.int64),
+    )
+    return np.minimum(lpns, spec.lpn_space - sizes).astype(np.int64)
+
+
+def generate_trace(spec: TraceSpec, rng: Optional[np.random.Generator] = None) -> Trace:
+    """Generate a synthetic trace matching ``spec``.
+
+    Deterministic for a given ``spec.seed`` unless an explicit ``rng`` is
+    supplied.
+    """
+    spec.validate()
+    if rng is None:
+        rng = np.random.default_rng(spec.seed)
+    n = spec.n_requests
+
+    # Opcodes: write / trim / read, in one categorical draw.
+    u = rng.random(n)
+    ops = np.full(n, int(OpKind.READ), dtype=np.uint8)
+    ops[u < spec.write_ratio] = int(OpKind.WRITE)
+    trim_band = spec.write_ratio + spec.trim_ratio
+    ops[(u >= spec.write_ratio) & (u < trim_band)] = int(OpKind.TRIM)
+
+    sizes = _sample_sizes(rng, spec, n)
+    lpns = _sample_lpns(rng, spec, sizes)
+    times = np.cumsum(rng.exponential(spec.mean_interarrival_us, size=n))
+
+    # Per-page content for writes: duplicate pages draw a pool id with
+    # Zipf popularity, unique pages take fresh ids.
+    is_write = ops == int(OpKind.WRITE)
+    write_pages = int(sizes[is_write].sum())
+    dup_mask = rng.random(write_pages) < spec.dedup_ratio
+    n_dup = int(dup_mask.sum())
+    fps = np.empty(write_pages, dtype=np.int64)
+    if n_dup:
+        weights = _zipf_weights(spec.popular_pool, spec.zipf_s)
+        fps[dup_mask] = rng.choice(spec.popular_pool, size=n_dup, p=weights)
+    n_unique = write_pages - n_dup
+    fps[~dup_mask] = _UNIQUE_FP_BASE + np.arange(n_unique, dtype=np.int64)
+
+    # Offsets: cumulative page counts over write requests only.
+    offsets = np.zeros(n + 1, dtype=np.int64)
+    offsets[1:] = np.cumsum(np.where(is_write, sizes, 0))
+
+    return Trace(times, ops, lpns, sizes, fps, offsets, name=spec.name)

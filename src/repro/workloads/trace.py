@@ -1,0 +1,210 @@
+"""Trace container with array-backed storage and CSV serialization.
+
+A :class:`Trace` stores half a million requests in a handful of NumPy
+arrays (times, opcodes, extents) plus one flat fingerprint array with a
+per-request offset table — no per-request Python objects on the replay
+hot path.  ``iter_requests`` materializes :class:`IORequest` views for
+API consumers that prefer objects.
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.workloads.request import IORequest, OpKind
+
+
+@dataclass(frozen=True)
+class TraceStats:
+    """Aggregate characteristics, comparable against the paper's Table II."""
+
+    requests: int
+    write_ratio: float
+    dedup_ratio: float
+    avg_req_kb: float
+    read_requests: int
+    write_requests: int
+    trim_requests: int
+    written_pages: int
+    unique_written_pages: int
+    span_us: float
+
+
+class Trace:
+    """An ordered sequence of page-granular I/O requests."""
+
+    def __init__(
+        self,
+        times_us: np.ndarray,
+        ops: np.ndarray,
+        lpns: np.ndarray,
+        npages: np.ndarray,
+        fps_flat: np.ndarray,
+        fp_offsets: np.ndarray,
+        name: str = "trace",
+    ) -> None:
+        n = len(times_us)
+        if not (len(ops) == len(lpns) == len(npages) == n):
+            raise ValueError("array length mismatch")
+        if len(fp_offsets) != n + 1:
+            raise ValueError("fp_offsets must have n+1 entries")
+        self.times_us = np.asarray(times_us, dtype=np.float64)
+        self.ops = np.asarray(ops, dtype=np.uint8)
+        self.lpns = np.asarray(lpns, dtype=np.int64)
+        self.npages = np.asarray(npages, dtype=np.int32)
+        self.fps_flat = np.asarray(fps_flat, dtype=np.int64)
+        self.fp_offsets = np.asarray(fp_offsets, dtype=np.int64)
+        self.name = name
+
+    def __len__(self) -> int:
+        return len(self.times_us)
+
+    # -- construction -------------------------------------------------------------
+
+    @classmethod
+    def from_requests(cls, requests: Sequence[IORequest], name: str = "trace") -> "Trace":
+        n = len(requests)
+        times = np.empty(n, dtype=np.float64)
+        ops = np.empty(n, dtype=np.uint8)
+        lpns = np.empty(n, dtype=np.int64)
+        npages = np.empty(n, dtype=np.int32)
+        fps: List[int] = []
+        offsets = np.zeros(n + 1, dtype=np.int64)
+        for i, req in enumerate(requests):
+            times[i] = req.time_us
+            ops[i] = int(req.op)
+            lpns[i] = req.lpn
+            npages[i] = req.npages
+            if req.fingerprints is not None:
+                fps.extend(req.fingerprints)
+            offsets[i + 1] = len(fps)
+        return cls(times, ops, lpns, npages, np.asarray(fps, dtype=np.int64), offsets, name)
+
+    # -- iteration -------------------------------------------------------------------
+
+    def iter_rows(
+        self,
+    ) -> Iterator[Tuple[float, int, int, int, Optional[np.ndarray]]]:
+        """Yield ``(time_us, op, lpn, npages, fps-or-None)`` tuples.
+
+        This is the replay hot path: no object construction, fingerprint
+        slices are views into the flat array.
+        """
+        times = self.times_us
+        ops = self.ops
+        lpns = self.lpns
+        npages = self.npages
+        fps = self.fps_flat
+        offsets = self.fp_offsets
+        write = int(OpKind.WRITE)
+        for i in range(len(times)):
+            op = int(ops[i])
+            page_fps = fps[offsets[i] : offsets[i + 1]] if op == write else None
+            yield (float(times[i]), op, int(lpns[i]), int(npages[i]), page_fps)
+
+    def iter_requests(self) -> Iterator[IORequest]:
+        """Yield :class:`IORequest` objects (convenience API)."""
+        for time_us, op, lpn, npages, page_fps in self.iter_rows():
+            yield IORequest(
+                time_us=time_us,
+                op=OpKind(op),
+                lpn=lpn,
+                npages=npages,
+                fingerprints=tuple(int(f) for f in page_fps) if page_fps is not None else None,
+            )
+
+    def __iter__(self) -> Iterator[IORequest]:
+        return self.iter_requests()
+
+    # -- statistics --------------------------------------------------------------------
+
+    def stats(self) -> TraceStats:
+        """Measure Table II-style characteristics of this trace."""
+        n = len(self)
+        is_write = self.ops == int(OpKind.WRITE)
+        is_read = self.ops == int(OpKind.READ)
+        is_trim = self.ops == int(OpKind.TRIM)
+        writes = int(is_write.sum())
+        written_pages = int(self.npages[is_write].sum()) if writes else 0
+        # Dedup ratio: fraction of written pages whose content was already
+        # written earlier in the trace (the FIU-trace convention).
+        unique = int(np.unique(self.fps_flat).size)
+        duplicates = len(self.fps_flat) - unique
+        dedup_ratio = duplicates / len(self.fps_flat) if len(self.fps_flat) else 0.0
+        avg_req_kb = float(self.npages.mean()) * 4.0 if n else 0.0
+        span = float(self.times_us[-1] - self.times_us[0]) if n > 1 else 0.0
+        return TraceStats(
+            requests=n,
+            write_ratio=writes / n if n else 0.0,
+            dedup_ratio=dedup_ratio,
+            avg_req_kb=avg_req_kb,
+            read_requests=int(is_read.sum()),
+            write_requests=writes,
+            trim_requests=int(is_trim.sum()),
+            written_pages=written_pages,
+            unique_written_pages=unique,
+            span_us=span,
+        )
+
+    def written_page_count(self) -> int:
+        return int(self.npages[self.ops == int(OpKind.WRITE)].sum())
+
+    def max_lpn(self) -> int:
+        if len(self) == 0:
+            return 0
+        return int((self.lpns + self.npages).max()) - 1
+
+    # -- serialization --------------------------------------------------------------------
+
+    CSV_HEADER = ["time_us", "op", "lpn", "npages", "fingerprints"]
+
+    def save_csv(self, path: Union[str, Path]) -> None:
+        """Write the trace as CSV (fingerprints hex, slash-separated)."""
+        with open(path, "w", newline="") as fh:
+            writer = csv.writer(fh)
+            writer.writerow(self.CSV_HEADER)
+            for time_us, op, lpn, npages, page_fps in self.iter_rows():
+                fp_field = (
+                    "/".join(format(int(f), "x") for f in page_fps)
+                    if page_fps is not None
+                    else ""
+                )
+                writer.writerow([repr(time_us), op, lpn, npages, fp_field])
+
+    @classmethod
+    def load_csv(cls, path: Union[str, Path], name: Optional[str] = None) -> "Trace":
+        """Load a trace written by :meth:`save_csv`."""
+        times: List[float] = []
+        ops: List[int] = []
+        lpns: List[int] = []
+        npages: List[int] = []
+        fps: List[int] = []
+        offsets: List[int] = [0]
+        with open(path, newline="") as fh:
+            reader = csv.reader(fh)
+            header = next(reader, None)
+            if header != cls.CSV_HEADER:
+                raise ValueError(f"unrecognized trace CSV header: {header}")
+            for row in reader:
+                times.append(float(row[0]))
+                op = int(row[1])
+                ops.append(op)
+                lpns.append(int(row[2]))
+                npages.append(int(row[3]))
+                if op == int(OpKind.WRITE):
+                    fps.extend(int(tok, 16) for tok in row[4].split("/"))
+                offsets.append(len(fps))
+        return cls(
+            np.asarray(times),
+            np.asarray(ops, dtype=np.uint8),
+            np.asarray(lpns, dtype=np.int64),
+            np.asarray(npages, dtype=np.int32),
+            np.asarray(fps, dtype=np.int64),
+            np.asarray(offsets, dtype=np.int64),
+            name or Path(path).stem,
+        )

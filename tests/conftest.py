@@ -1,0 +1,40 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import GeometryConfig, SSDConfig, TimingConfig, small_config
+from repro.schemes import make_scheme
+
+
+@pytest.fixture
+def tiny_config() -> SSDConfig:
+    """A minimal device: 16 blocks x 8 pages, 2 channels."""
+    return SSDConfig(
+        geometry=GeometryConfig(channels=2, pages_per_block=8, blocks=16),
+        cold_region_ratio=0.5,
+    )
+
+
+@pytest.fixture
+def small_cfg() -> SSDConfig:
+    """A small but GC-capable device: 64 blocks x 16 pages."""
+    return small_config(blocks=64, pages_per_block=16, channels=4)
+
+
+@pytest.fixture
+def timing() -> TimingConfig:
+    return TimingConfig()
+
+
+@pytest.fixture(params=["baseline", "inline-dedupe", "cagc"])
+def any_scheme(request, tiny_config):
+    """Each FTL scheme instantiated on the tiny device."""
+    return make_scheme(request.param, tiny_config)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)

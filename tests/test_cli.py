@@ -1,0 +1,150 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.experiments import EXPERIMENTS
+
+
+def test_list_prints_all_experiments(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out.split()
+    assert set(out) == set(EXPERIMENTS)
+
+
+def test_run_single_experiment(capsys):
+    assert main(["run", "table1", "--scale", "quick"]) == 0
+    out = capsys.readouterr().out
+    assert "[table1]" in out
+
+
+def test_run_unknown_experiment_fails(capsys):
+    assert main(["run", "fig99"]) == 2
+    assert "error" in capsys.readouterr().err
+
+
+def test_bad_scale_rejected():
+    with pytest.raises(SystemExit):
+        main(["run", "fig9", "--scale", "enormous"])
+
+
+def test_no_command_rejected():
+    with pytest.raises(SystemExit):
+        main([])
+
+
+class TestTraceCommands:
+    def test_trace_gen_csv_then_info(self, tmp_path, capsys):
+        out = tmp_path / "t.csv"
+        assert (
+            main(
+                [
+                    "trace-gen",
+                    "--preset",
+                    "homes",
+                    "--requests",
+                    "500",
+                    "--blocks",
+                    "64",
+                    "--pages-per-block",
+                    "16",
+                    "--out",
+                    str(out),
+                ]
+            )
+            == 0
+        )
+        assert out.exists()
+        assert main(["trace-info", str(out)]) == 0
+        printed = capsys.readouterr().out
+        assert "write ratio" in printed
+        assert "refcount distribution" in printed
+
+    def test_trace_gen_fiu_format(self, tmp_path):
+        out = tmp_path / "t.blk"
+        assert (
+            main(
+                [
+                    "trace-gen",
+                    "--preset",
+                    "mail",
+                    "--requests",
+                    "200",
+                    "--blocks",
+                    "64",
+                    "--pages-per-block",
+                    "16",
+                    "--format",
+                    "fiu",
+                    "--out",
+                    str(out),
+                ]
+            )
+            == 0
+        )
+        assert main(["trace-info", str(out), "--format", "fiu"]) == 0
+
+    def test_trace_info_missing_file(self, capsys):
+        assert main(["trace-info", "/nonexistent/file.csv"]) == 2
+        assert "no such file" in capsys.readouterr().err
+
+
+class TestSimulateCommand:
+    def test_simulate_preset(self, capsys):
+        rc = main(
+            [
+                "simulate",
+                "--scheme",
+                "cagc",
+                "--preset",
+                "homes",
+                "--blocks",
+                "64",
+                "--pages-per-block",
+                "16",
+                "--fill-factor",
+                "2.0",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "blocks erased" in out
+        assert "write amplification" in out
+
+    def test_simulate_trace_file_preemptive(self, tmp_path, capsys):
+        out = tmp_path / "t.csv"
+        main(
+            [
+                "trace-gen",
+                "--preset",
+                "mail",
+                "--requests",
+                "400",
+                "--blocks",
+                "64",
+                "--pages-per-block",
+                "16",
+                "--out",
+                str(out),
+            ]
+        )
+        rc = main(
+            [
+                "simulate",
+                "--scheme",
+                "baseline",
+                "--trace",
+                str(out),
+                "--blocks",
+                "64",
+                "--pages-per-block",
+                "16",
+                "--gc-mode",
+                "preemptive",
+                "--wear-aware",
+                "--policy",
+                "cost-benefit",
+            ]
+        )
+        assert rc == 0
+        assert "preemptive" in capsys.readouterr().out

@@ -1,0 +1,152 @@
+"""Tests for repro.config: Table I defaults and validation."""
+
+import dataclasses
+
+import pytest
+
+from repro.config import (
+    GB,
+    KB,
+    GeometryConfig,
+    SSDConfig,
+    TimingConfig,
+    paper_config,
+    paper_geometry,
+    small_config,
+)
+
+
+class TestTimingConfig:
+    def test_table1_defaults(self):
+        t = TimingConfig()
+        assert t.read_us == 12.0
+        assert t.write_us == 16.0
+        assert t.erase_us == 1500.0
+        assert t.hash_us == 14.0
+
+    def test_erase_is_order_of_magnitude_larger(self):
+        # the paper's premise: erase latency is ms, page ops are us.
+        t = TimingConfig()
+        assert t.erase_us >= 10 * max(t.read_us, t.write_us, t.hash_us)
+
+    @pytest.mark.parametrize(
+        "field", ["read_us", "write_us", "erase_us", "hash_us", "lookup_us"]
+    )
+    def test_negative_rejected(self, field):
+        t = dataclasses.replace(TimingConfig(), **{field: -1.0})
+        with pytest.raises(ValueError):
+            t.validate()
+
+    def test_negative_overhead_rejected(self):
+        with pytest.raises(ValueError):
+            dataclasses.replace(TimingConfig(), overhead_us=-0.1).validate()
+
+    def test_zero_latencies_allowed(self):
+        dataclasses.replace(
+            TimingConfig(), read_us=0.0, hash_us=0.0
+        ).validate()  # hash coprocessor ablation needs hash_us=0
+
+
+class TestGeometryConfig:
+    def test_block_size_table1(self):
+        g = GeometryConfig()
+        assert g.page_size == 4 * KB
+        assert g.block_size == g.page_size * g.pages_per_block
+
+    def test_total_pages(self):
+        g = GeometryConfig(blocks=100, pages_per_block=64)
+        assert g.total_pages == 6400
+
+    def test_physical_bytes(self):
+        g = GeometryConfig(blocks=10, pages_per_block=4, page_size=4096)
+        assert g.physical_bytes == 10 * 4 * 4096
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"channels": 0},
+            {"page_size": 0},
+            {"pages_per_block": -1},
+            {"blocks": 0},
+            {"blocks": 10, "channels": 4},  # not divisible
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        g = dataclasses.replace(GeometryConfig(), **kwargs)
+        with pytest.raises(ValueError):
+            g.validate()
+
+
+class TestSSDConfig:
+    def test_logical_capacity_reflects_op(self):
+        cfg = SSDConfig()
+        assert cfg.logical_pages == int(cfg.geometry.total_pages * 0.93)
+        assert cfg.logical_bytes == cfg.logical_pages * cfg.geometry.page_size
+
+    def test_defaults_valid(self):
+        SSDConfig().validate()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"op_ratio": -0.1},
+            {"op_ratio": 1.0},
+            {"gc_watermark": 0.0},
+            {"gc_watermark": 1.0},
+            {"gc_stop_watermark": 0.1},  # below watermark
+            {"cold_threshold": 0},
+            {"cold_region_ratio": 1.0},
+            {"gc_burst_blocks": 0},
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        cfg = dataclasses.replace(SSDConfig(), **kwargs)
+        with pytest.raises(ValueError):
+            cfg.validate()
+
+    def test_op_ratio_eats_everything_rejected(self):
+        cfg = dataclasses.replace(SSDConfig(), op_ratio=0.9999999)
+        with pytest.raises(ValueError):
+            cfg.validate()
+
+    def test_scaled_changes_blocks_only(self):
+        cfg = SSDConfig()
+        scaled = cfg.scaled(blocks=512)
+        assert scaled.geometry.blocks == 512
+        assert scaled.geometry.pages_per_block == cfg.geometry.pages_per_block
+        assert scaled.timing == cfg.timing
+
+    def test_scaled_changes_channels(self):
+        scaled = SSDConfig().scaled(blocks=512, channels=8)
+        assert scaled.geometry.channels == 8
+
+    def test_scaled_validates(self):
+        with pytest.raises(ValueError):
+            SSDConfig().scaled(blocks=10, channels=4)
+
+
+class TestPaperConfig:
+    def test_capacity_is_80gb(self):
+        cfg = paper_config()
+        assert cfg.geometry.physical_bytes == 80 * GB
+
+    def test_block_size_256kb(self):
+        assert paper_config().geometry.block_size == 256 * KB
+
+    def test_geometry_helper_matches(self):
+        assert paper_geometry() == paper_config().geometry
+
+    def test_paper_config_valid(self):
+        paper_config().validate()
+
+
+class TestSmallConfig:
+    def test_small_config_valid(self):
+        cfg = small_config()
+        cfg.validate()
+        assert cfg.geometry.blocks == 256
+
+    def test_small_config_overrides(self):
+        cfg = small_config(blocks=64, channels=2, cold_threshold=3)
+        assert cfg.geometry.blocks == 64
+        assert cfg.cold_threshold == 3

@@ -1,0 +1,117 @@
+"""Tests for the CAGC GC pipeline timing model."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import TimingConfig
+from repro.core.pipeline import GCPipeline
+from repro.flash.timing import FlashTiming
+
+
+def timing(**kwargs) -> FlashTiming:
+    return FlashTiming(TimingConfig(**kwargs))
+
+
+class TestBasics:
+    def test_empty_block_is_erase_only(self):
+        t = timing()
+        assert GCPipeline(t).finish() == t.erase_us
+
+    def test_single_dedup_hit_costs_read_hash(self):
+        t = timing()
+        pipe = GCPipeline(t)
+        pipe.process_page(write=False)
+        assert pipe.finish() == t.read_us + t.hash_us + t.lookup_us + t.erase_us
+
+    def test_single_write_adds_program(self):
+        t = timing()
+        pipe = GCPipeline(t)
+        pipe.process_page(write=True)
+        expected = t.read_us + t.hash_us + t.lookup_us + t.write_us + t.erase_us
+        assert pipe.finish() == expected
+
+    def test_hash_overlaps_reads(self):
+        """For all-dedup blocks the makespan is dominated by max(read
+        chain, hash chain), not their sum."""
+        t = timing()
+        pipe = GCPipeline(t)
+        n = 20
+        for _ in range(n):
+            pipe.process_page(write=False)
+        serial = n * (t.read_us + t.hash_us + t.lookup_us) + t.erase_us
+        assert pipe.finish() < serial
+        # lower bound: the hash engine itself
+        assert pipe.finish() >= n * (t.hash_us + t.lookup_us) + t.erase_us
+
+    def test_extra_copy_no_hash(self):
+        t = timing()
+        pipe = GCPipeline(t)
+        pipe.extra_copy()
+        assert pipe.finish() == t.read_us + t.write_us + t.erase_us
+
+
+class TestVsBaseline:
+    @pytest.mark.parametrize("n_pages", [1, 4, 16, 64])
+    def test_never_slower_than_copy_all_plus_hash(self, n_pages):
+        """CAGC's pipelined GC beats the naive serial read+hash+write."""
+        t = timing()
+        pipe = GCPipeline(t)
+        for _ in range(n_pages):
+            pipe.process_page(write=True)
+        serial = n_pages * (
+            t.read_us + t.hash_us + t.lookup_us + t.write_us
+        ) + t.erase_us
+        assert pipe.finish() <= serial
+
+    def test_all_dedup_block_much_cheaper_than_baseline(self):
+        t = timing()
+        pipe = GCPipeline(t)
+        for _ in range(64):
+            pipe.process_page(write=False)
+        assert pipe.finish() < t.gc_migrate_us(64) * 0.8
+
+    def test_hash_hidden_when_erase_dominates(self):
+        """The paper's parallelism claim: with a small page count, the
+        whole dedup pass hides behind the erase latency budget."""
+        t = timing()
+        pipe = GCPipeline(t)
+        for _ in range(8):
+            pipe.process_page(write=False)
+        overhead = pipe.finish() - t.erase_us
+        assert overhead < t.erase_us * 0.15
+
+
+class TestProperties:
+    @given(
+        verdicts=st.lists(st.booleans(), max_size=128),
+        read=st.floats(1.0, 50.0),
+        write=st.floats(1.0, 50.0),
+        hash_us=st.floats(0.0, 50.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_makespan_bounds(self, verdicts, read, write, hash_us):
+        t = timing(read_us=read, write_us=write, hash_us=hash_us, lookup_us=0.0)
+        pipe = GCPipeline(t)
+        for v in verdicts:
+            pipe.process_page(write=v)
+        total = pipe.finish()
+        n = len(verdicts)
+        writes = sum(verdicts)
+        # lower bounds: each stage alone
+        assert total >= n * read + t.erase_us - 1e-9
+        assert total >= n * hash_us + t.erase_us - 1e-9
+        assert total >= writes * write + t.erase_us - 1e-9
+        # upper bound: fully serial execution
+        assert total <= n * (read + hash_us) + writes * write + t.erase_us + 1e-9
+
+    @given(verdicts=st.lists(st.booleans(), min_size=1, max_size=64))
+    @settings(max_examples=30, deadline=None)
+    def test_monotone_in_pages(self, verdicts):
+        t = timing()
+        pipe_all = GCPipeline(t)
+        pipe_fewer = GCPipeline(t)
+        for v in verdicts:
+            pipe_all.process_page(write=v)
+        for v in verdicts[:-1]:
+            pipe_fewer.process_page(write=v)
+        assert pipe_all.finish() >= pipe_fewer.finish()

@@ -1,0 +1,73 @@
+"""Tests for reference-count-based placement."""
+
+import pytest
+
+from repro.config import GeometryConfig, SSDConfig
+from repro.core.placement import PlacementPolicy
+from repro.flash.chip import FlashArray
+from repro.ftl.allocator import BlockAllocator, Region
+
+
+@pytest.fixture
+def cfg() -> SSDConfig:
+    return SSDConfig(
+        geometry=GeometryConfig(channels=2, pages_per_block=4, blocks=8),
+        cold_threshold=2,
+        cold_region_ratio=0.25,  # cap: 2 blocks
+    )
+
+
+@pytest.fixture
+def alloc(cfg) -> BlockAllocator:
+    return BlockAllocator(FlashArray(cfg.geometry))
+
+
+class TestClassification:
+    def test_refcount_one_is_hot(self, cfg):
+        assert not PlacementPolicy(cfg).is_cold(1)
+
+    def test_threshold_and_above_is_cold(self, cfg):
+        p = PlacementPolicy(cfg)
+        assert p.is_cold(2)
+        assert p.is_cold(10)
+
+    def test_higher_threshold(self, cfg):
+        import dataclasses
+
+        p = PlacementPolicy(dataclasses.replace(cfg, cold_threshold=4))
+        assert not p.is_cold(3)
+        assert p.is_cold(4)
+
+
+class TestRegionFor:
+    def test_hot_refcount_goes_hot(self, cfg, alloc):
+        assert PlacementPolicy(cfg).region_for(1, alloc) == Region.HOT
+
+    def test_cold_refcount_goes_cold(self, cfg, alloc):
+        assert PlacementPolicy(cfg).region_for(3, alloc) == Region.COLD
+
+    def test_cold_overflow_falls_back_to_hot(self, cfg, alloc):
+        p = PlacementPolicy(cfg)
+        # consume the cold budget (2 blocks of 4 pages)
+        for _ in range(8):
+            alloc.allocate_page(Region.COLD)
+        assert alloc.region_blocks[Region.COLD] == 2
+        assert p.region_for(5, alloc) == Region.HOT
+
+
+class TestPromotion:
+    def test_promote_when_threshold_reached_in_hot(self, cfg, alloc):
+        p = PlacementPolicy(cfg)
+        assert p.should_promote(2, Region.HOT, alloc)
+
+    def test_no_promote_below_threshold(self, cfg, alloc):
+        assert not PlacementPolicy(cfg).should_promote(1, Region.HOT, alloc)
+
+    def test_no_promote_if_already_cold(self, cfg, alloc):
+        assert not PlacementPolicy(cfg).should_promote(5, Region.COLD, alloc)
+
+    def test_no_promote_when_cold_full(self, cfg, alloc):
+        p = PlacementPolicy(cfg)
+        for _ in range(8):
+            alloc.allocate_page(Region.COLD)
+        assert not p.should_promote(5, Region.HOT, alloc)

@@ -1,0 +1,93 @@
+"""Tests for the fingerprint index."""
+
+import pytest
+
+from repro.dedup.index import FingerprintIndex, IndexError_
+
+
+class TestBasics:
+    def test_lookup_miss_then_hit(self):
+        idx = FingerprintIndex()
+        assert idx.lookup(0xAB) is None
+        idx.insert(0xAB, 7)
+        assert idx.lookup(0xAB) == 7
+        assert idx.hits == 1
+        assert idx.misses == 1
+        assert idx.hit_ratio == 0.5
+
+    def test_peek_does_not_count(self):
+        idx = FingerprintIndex()
+        idx.insert(1, 2)
+        idx.peek(1)
+        idx.peek(9)
+        assert idx.hits == 0
+        assert idx.misses == 0
+
+    def test_fp_of_reverse_lookup(self):
+        idx = FingerprintIndex()
+        idx.insert(0xCD, 3)
+        assert idx.fp_of(3) == 0xCD
+        assert idx.fp_of(4) is None
+        assert idx.contains_ppn(3)
+
+    def test_len(self):
+        idx = FingerprintIndex()
+        idx.insert(1, 10)
+        idx.insert(2, 20)
+        assert len(idx) == 2
+
+    def test_hit_ratio_empty(self):
+        assert FingerprintIndex().hit_ratio == 0.0
+
+
+class TestMutations:
+    def test_duplicate_fp_insert_rejected(self):
+        idx = FingerprintIndex()
+        idx.insert(1, 10)
+        with pytest.raises(IndexError_):
+            idx.insert(1, 11)
+
+    def test_duplicate_ppn_insert_rejected(self):
+        idx = FingerprintIndex()
+        idx.insert(1, 10)
+        with pytest.raises(IndexError_):
+            idx.insert(2, 10)
+
+    def test_remove_ppn(self):
+        idx = FingerprintIndex()
+        idx.insert(1, 10)
+        assert idx.remove_ppn(10) == 1
+        assert idx.peek(1) is None
+        assert len(idx) == 0
+
+    def test_remove_unknown_ppn_is_noop(self):
+        assert FingerprintIndex().remove_ppn(42) is None
+
+    def test_move_repoints_entry(self):
+        idx = FingerprintIndex()
+        idx.insert(5, 10)
+        idx.move(10, 99)
+        assert idx.peek(5) == 99
+        assert idx.fp_of(99) == 5
+        assert not idx.contains_ppn(10)
+
+    def test_move_unknown_rejected(self):
+        with pytest.raises(IndexError_):
+            FingerprintIndex().move(1, 2)
+
+    def test_move_onto_occupied_rejected(self):
+        idx = FingerprintIndex()
+        idx.insert(1, 10)
+        idx.insert(2, 20)
+        with pytest.raises(IndexError_):
+            idx.move(10, 20)
+
+    def test_invariants_after_churn(self):
+        idx = FingerprintIndex()
+        for i in range(20):
+            idx.insert(i, 100 + i)
+        for i in range(0, 20, 2):
+            idx.remove_ppn(100 + i)
+        for i in range(1, 20, 2):
+            idx.move(100 + i, 200 + i)
+        idx.check_invariants()

@@ -1,0 +1,94 @@
+"""Tests for refcount lifecycle statistics (Fig 6 machinery)."""
+
+from hypothesis import given, strategies as st
+
+from repro.dedup.fingerprint import fingerprint_bytes
+from repro.dedup.refcount import InvalidationHistogram, RefcountTracker
+
+
+class TestHistogram:
+    def test_buckets(self):
+        h = InvalidationHistogram()
+        for peak in (1, 1, 2, 3, 4, 9):
+            h.record(peak)
+        assert h.ref1 == 2
+        assert h.ref2 == 1
+        assert h.ref3 == 1
+        assert h.ref_gt3 == 2
+        assert h.total == 6
+
+    def test_zero_peak_counts_as_one(self):
+        h = InvalidationHistogram()
+        h.record(0)
+        assert h.ref1 == 1
+
+    def test_fractions_sum_to_one(self):
+        h = InvalidationHistogram()
+        for peak in (1, 2, 2, 3, 5, 5, 5):
+            h.record(peak)
+        assert abs(sum(h.fractions()) - 1.0) < 1e-12
+
+    def test_fractions_empty(self):
+        assert InvalidationHistogram().fractions() == (0.0, 0.0, 0.0, 0.0)
+
+    def test_as_rows_labels(self):
+        rows = InvalidationHistogram().as_rows()
+        assert [label for label, _ in rows] == ["1", "2", "3", ">3"]
+
+    @given(peaks=st.lists(st.integers(min_value=1, max_value=50)))
+    def test_total_matches_records(self, peaks):
+        h = InvalidationHistogram()
+        for p in peaks:
+            h.record(p)
+        assert h.total == len(peaks)
+
+
+class TestTracker:
+    def test_observe_tracks_peak(self):
+        t = RefcountTracker()
+        t.observe(1, 2)
+        t.observe(1, 5)
+        t.observe(1, 3)  # drop below peak
+        t.invalidated(1)
+        assert t.histogram.ref_gt3 == 1
+
+    def test_invalidate_unobserved_defaults_to_one(self):
+        t = RefcountTracker()
+        t.invalidated(99)
+        assert t.histogram.ref1 == 1
+
+    def test_rekey_carries_history(self):
+        t = RefcountTracker()
+        t.observe(1, 3)
+        t.rekey(1, 2)
+        t.invalidated(2)
+        assert t.histogram.ref3 == 1
+        assert 1 not in t.peaks
+
+    def test_rekey_takes_max_of_both(self):
+        t = RefcountTracker()
+        t.observe(1, 2)
+        t.observe(2, 4)
+        t.rekey(1, 2)
+        t.invalidated(2)
+        assert t.histogram.ref_gt3 == 1
+
+    def test_invalidated_clears_state(self):
+        t = RefcountTracker()
+        t.observe(1, 2)
+        t.invalidated(1)
+        t.invalidated(1)  # second death of same key: default peak
+        assert t.histogram.ref2 == 1
+        assert t.histogram.ref1 == 1
+
+
+class TestFingerprintBytes:
+    def test_deterministic(self):
+        assert fingerprint_bytes(b"abc") == fingerprint_bytes(b"abc")
+
+    def test_different_content_differs(self):
+        assert fingerprint_bytes(b"abc") != fingerprint_bytes(b"abd")
+
+    def test_fits_in_int64(self):
+        fp = fingerprint_bytes(b"\xff" * 4096)
+        assert 0 <= fp < 2**63

@@ -1,0 +1,127 @@
+"""Tests for blocking vs preemptive (idle-time) GC modes."""
+
+import dataclasses
+
+import pytest
+
+from repro.config import GeometryConfig, SSDConfig, TimingConfig
+from repro.device.ssd import SSD, run_trace
+from repro.schemes import make_scheme
+from repro.workloads.request import IORequest, OpKind
+from repro.workloads.trace import Trace
+
+
+def cfg(mode="blocking") -> SSDConfig:
+    return SSDConfig(
+        geometry=GeometryConfig(channels=2, pages_per_block=8, blocks=32),
+        timing=TimingConfig(overhead_us=0.0),
+        gc_mode=mode,
+    )
+
+
+def churn_trace(config, rounds=4, gap_us=200.0) -> Trace:
+    """Overwrite churn with idle gaps between requests."""
+    lpns = int(config.logical_pages * 0.8)
+    reqs = []
+    t = 0.0
+    fp = 0
+    for _ in range(rounds):
+        for lpn in range(lpns):
+            reqs.append(IORequest(t, OpKind.WRITE, lpn, 1, (fp,)))
+            t += gap_us
+            fp += 1
+    return Trace.from_requests(reqs, name="churn")
+
+
+class TestConfig:
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            dataclasses.replace(SSDConfig(), gc_mode="lazy").validate()
+
+    def test_modes_accepted(self):
+        for mode in ("blocking", "preemptive"):
+            dataclasses.replace(SSDConfig(), gc_mode=mode).validate()
+
+
+class TestPreemptiveMode:
+    def test_background_chunks_run_in_idle_gaps(self):
+        config = cfg("preemptive")
+        scheme = make_scheme("baseline", config)
+        ssd = SSD(scheme)
+        ssd.replay(churn_trace(config))
+        assert ssd.background_gc_chunks > 0
+
+    def test_blocking_mode_never_uses_background(self):
+        config = cfg("blocking")
+        ssd = SSD(make_scheme("baseline", config))
+        ssd.replay(churn_trace(config))
+        assert ssd.background_gc_chunks == 0
+
+    def test_both_modes_preserve_logical_content(self):
+        results = {}
+        for mode in ("blocking", "preemptive"):
+            config = cfg(mode)
+            scheme = make_scheme("cagc", config)
+            SSD(scheme).replay(churn_trace(config))
+            scheme.check_invariants()
+            results[mode] = scheme.logical_content()
+        assert results["blocking"] == results["preemptive"]
+
+    def test_preemptive_improves_tail_latency(self):
+        """With idle gaps available, moving GC off the foreground path
+        must cut the worst-case stall."""
+        lat = {}
+        for mode in ("blocking", "preemptive"):
+            config = cfg(mode)
+            result = run_trace(make_scheme("baseline", config), churn_trace(config))
+            lat[mode] = result.latency
+        assert lat["preemptive"].p99_us < lat["blocking"].p99_us
+        assert lat["preemptive"].max_us <= lat["blocking"].max_us
+
+    def test_preemptive_foreground_stall_bounded_by_reserve(self):
+        """A single foreground stall collects only enough blocks to
+        restore the reserve, not a full burst."""
+        config = cfg("preemptive")
+        scheme = make_scheme("baseline", config)
+        ssd = SSD(scheme)
+        # saturating trace: no idle gaps, so foreground GC must happen
+        reqs = []
+        fp = 0
+        lpns = int(config.logical_pages * 0.8)
+        for round_ in range(4):
+            for lpn in range(lpns):
+                reqs.append(IORequest(0.0, OpKind.WRITE, lpn, 1, (fp,)))
+                fp += 1
+        result = ssd.replay(Trace.from_requests(reqs, name="saturated"))
+        assert result.gc.blocks_erased > 0
+        assert scheme.allocator.free_blocks >= 0
+
+    def test_device_stays_consistent_after_bg_gc(self):
+        config = cfg("preemptive")
+        scheme = make_scheme("inline-dedupe", config)
+        SSD(scheme).replay(churn_trace(config))
+        scheme.check_invariants()
+
+
+class TestCollectNext:
+    def test_collect_next_zero_when_no_victims(self):
+        scheme = make_scheme("baseline", cfg())
+        assert scheme.collect_next(0.0) == 0.0
+
+    def test_collect_next_erases_one_block(self):
+        config = cfg()
+        scheme = make_scheme("baseline", config)
+        lpns = int(config.logical_pages * 0.8)
+        for rep in range(2):
+            for lpn in range(lpns):
+                if scheme.needs_gc():
+                    scheme.run_gc(0.0)
+                scheme.write_page(lpn, rep * lpns + lpn, 0.0)
+        erased_before = scheme.gc_counters.blocks_erased
+        duration = scheme.collect_next(0.0)
+        assert duration > 0.0
+        assert scheme.gc_counters.blocks_erased == erased_before + 1
+
+    def test_reserve_blocks_floor(self):
+        scheme = make_scheme("baseline", cfg())
+        assert scheme.reserve_blocks() >= 4

@@ -1,0 +1,177 @@
+"""Tests for the event-driven SSD controller."""
+
+import numpy as np
+import pytest
+
+from repro.config import GeometryConfig, SSDConfig, TimingConfig
+from repro.device.ssd import SSD, run_trace
+from repro.schemes import make_scheme
+from repro.workloads.request import IORequest, OpKind
+from repro.workloads.trace import Trace
+
+
+def cfg(overhead=0.0, **kwargs) -> SSDConfig:
+    return SSDConfig(
+        geometry=GeometryConfig(channels=2, pages_per_block=8, blocks=32),
+        timing=TimingConfig(overhead_us=overhead),
+        **kwargs,
+    )
+
+
+def trace_of(reqs) -> Trace:
+    return Trace.from_requests(reqs, name="test")
+
+
+class TestServiceTimes:
+    def test_idle_read_latency_is_service_time(self):
+        trace = trace_of([IORequest(0.0, OpKind.READ, 0, 1)])
+        result = run_trace(make_scheme("baseline", cfg()), trace)
+        assert result.response_times_us[0] == pytest.approx(12.0)
+
+    def test_idle_write_latency(self):
+        trace = trace_of([IORequest(0.0, OpKind.WRITE, 0, 2, (1, 2))])
+        result = run_trace(make_scheme("baseline", cfg()), trace)
+        # 2 pages on 2 channels: one 16us slot
+        assert result.response_times_us[0] == pytest.approx(16.0)
+
+    def test_overhead_charged_per_request(self):
+        trace = trace_of([IORequest(0.0, OpKind.READ, 0, 1)])
+        result = run_trace(make_scheme("baseline", cfg(overhead=20.0)), trace)
+        assert result.response_times_us[0] == pytest.approx(32.0)
+
+    def test_inline_write_pays_hash(self):
+        trace = trace_of([IORequest(0.0, OpKind.WRITE, 0, 1, (7,))])
+        base = run_trace(make_scheme("baseline", cfg()), trace)
+        inline = run_trace(make_scheme("inline-dedupe", cfg()), trace)
+        # hash 14 + lookup 1 serial before the 16us program
+        assert inline.response_times_us[0] == pytest.approx(
+            base.response_times_us[0] + 15.0
+        )
+
+    def test_inline_dup_write_skips_program(self):
+        trace = trace_of(
+            [
+                IORequest(0.0, OpKind.WRITE, 0, 1, (7,)),
+                IORequest(1000.0, OpKind.WRITE, 1, 1, (7,)),
+            ]
+        )
+        result = run_trace(make_scheme("inline-dedupe", cfg()), trace)
+        # dup page: hash+lookup plus metadata lookup, no 16us program
+        assert result.response_times_us[1] == pytest.approx(14.0 + 1.0 + 1.0)
+
+    def test_trim_is_metadata_only(self):
+        trace = trace_of(
+            [
+                IORequest(0.0, OpKind.WRITE, 0, 1, (7,)),
+                IORequest(1000.0, OpKind.TRIM, 0, 1),
+            ]
+        )
+        result = run_trace(make_scheme("baseline", cfg()), trace)
+        assert result.response_times_us[1] == pytest.approx(1.0)
+
+
+class TestQueueing:
+    def test_fifo_queueing_adds_wait(self):
+        # two reads arriving together: the second waits for the first.
+        trace = trace_of(
+            [
+                IORequest(0.0, OpKind.READ, 0, 1),
+                IORequest(0.0, OpKind.READ, 1, 1),
+            ]
+        )
+        result = run_trace(make_scheme("baseline", cfg()), trace)
+        assert result.response_times_us[0] == pytest.approx(12.0)
+        assert result.response_times_us[1] == pytest.approx(24.0)
+
+    def test_idle_gap_resets_queue(self):
+        trace = trace_of(
+            [
+                IORequest(0.0, OpKind.READ, 0, 1),
+                IORequest(500.0, OpKind.READ, 1, 1),
+            ]
+        )
+        result = run_trace(make_scheme("baseline", cfg()), trace)
+        assert result.response_times_us[1] == pytest.approx(12.0)
+
+    def test_all_requests_complete(self):
+        reqs = [IORequest(float(i), OpKind.READ, i % 4, 1) for i in range(100)]
+        result = run_trace(make_scheme("baseline", cfg()), trace_of(reqs))
+        assert result.latency.count == 100
+
+    def test_simulated_time_covers_trace(self):
+        reqs = [IORequest(float(i * 10), OpKind.READ, 0, 1) for i in range(10)]
+        result = run_trace(make_scheme("baseline", cfg()), trace_of(reqs))
+        assert result.simulated_us >= 90.0
+
+
+class TestGCInteraction:
+    def overwrite_trace(self, config, rounds=3):
+        lpns = int(config.logical_pages * 0.8)
+        reqs = []
+        t = 0.0
+        fp = 0
+        for _ in range(rounds):
+            for lpn in range(lpns):
+                reqs.append(IORequest(t, OpKind.WRITE, lpn, 1, (fp,)))
+                t += 5.0
+                fp += 1
+        return trace_of(reqs)
+
+    def test_gc_triggers_and_is_accounted(self):
+        config = cfg()
+        result = run_trace(make_scheme("baseline", config), self.overwrite_trace(config))
+        assert result.gc.gc_invocations > 0
+        assert result.gc.blocks_erased > 0
+        assert result.gc.gc_busy_us > 0
+        assert result.write_amplification() > 1.0
+
+    def test_gc_inflates_some_latencies(self):
+        config = cfg()
+        result = run_trace(make_scheme("baseline", config), self.overwrite_trace(config))
+        # a request that waited behind a GC burst sees >= erase latency
+        assert result.latency.max_us >= config.timing.erase_us
+
+    def test_run_result_fields(self):
+        config = cfg()
+        result = run_trace(make_scheme("cagc", config), self.overwrite_trace(config))
+        assert result.scheme == "cagc"
+        assert result.trace == "test"
+        assert result.blocks_erased == result.gc.blocks_erased
+        assert result.pages_migrated == result.gc.pages_migrated
+        assert result.mean_response_us == result.latency.mean_us
+        assert result.wear.total_erases == result.gc.blocks_erased
+
+    def test_response_times_array_matches_count(self):
+        config = cfg()
+        result = run_trace(make_scheme("baseline", config), self.overwrite_trace(config))
+        assert len(result.response_times_us) == result.latency.count
+        assert (result.response_times_us >= 0).all()
+
+
+class TestDeterminism:
+    def test_replay_deterministic(self):
+        config = cfg()
+        reqs = [
+            IORequest(float(i * 3), OpKind.WRITE, i % 50, 1, (i % 9,))
+            for i in range(500)
+        ]
+        r1 = run_trace(make_scheme("cagc", config), trace_of(reqs))
+        r2 = run_trace(make_scheme("cagc", config), trace_of(reqs))
+        assert np.array_equal(r1.response_times_us, r2.response_times_us)
+        assert r1.blocks_erased == r2.blocks_erased
+
+    def test_ssd_reuse_rejected_semantics(self):
+        """A fresh SSD per replay: replaying twice accumulates state, so
+        run_trace constructs a new device each time."""
+        config = cfg()
+        scheme = make_scheme("baseline", config)
+        ssd = SSD(scheme)
+        trace = trace_of([IORequest(0.0, OpKind.WRITE, 0, 1, (1,))])
+        ssd.replay(trace)
+        assert scheme.io_counters.write_requests == 1
+
+    def test_unknown_opcode_rejected(self):
+        config = cfg()
+        ssd = SSD(make_scheme("baseline", config))
+        with pytest.raises(ValueError):
+            ssd._service((0.0, 9, 0, 1, None))

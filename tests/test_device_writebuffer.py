@@ -1,0 +1,188 @@
+"""Tests for the DRAM write buffer and its device integration."""
+
+import dataclasses
+
+import pytest
+
+from repro.config import GeometryConfig, SSDConfig, TimingConfig
+from repro.device.ssd import run_trace
+from repro.device.writebuffer import WriteBuffer
+from repro.schemes import make_scheme
+from repro.workloads.request import IORequest, OpKind
+from repro.workloads.trace import Trace
+
+
+class TestWriteBufferUnit:
+    def test_put_within_capacity_no_eviction(self):
+        buf = WriteBuffer(4)
+        assert buf.put(1, 0xA) == []
+        assert buf.put(2, 0xB) == []
+        assert len(buf) == 2
+
+    def test_overwrite_absorbed(self):
+        buf = WriteBuffer(4)
+        buf.put(1, 0xA)
+        assert buf.put(1, 0xB) == []
+        assert buf.stats.overwrite_hits == 1
+        assert buf.read(1) == 0xB
+
+    def test_overflow_evicts_lru_batch(self):
+        buf = WriteBuffer(4, destage_batch=2)
+        for lpn in range(5):
+            evicted = buf.put(lpn, lpn * 10)
+        assert [lpn for lpn, _ in evicted] == [0, 1]
+        assert len(buf) == 3
+
+    def test_recently_used_pages_survive(self):
+        buf = WriteBuffer(4, destage_batch=1)
+        for lpn in range(4):
+            buf.put(lpn, 0)
+        buf.put(0, 1)  # refresh lpn 0
+        evicted = buf.put(9, 0)
+        assert evicted[0][0] == 1  # lpn 1 is now LRU
+
+    def test_read_miss(self):
+        buf = WriteBuffer(4)
+        assert buf.read(42) is None
+        assert buf.stats.read_hits == 0
+
+    def test_trim_drops_without_destage(self):
+        buf = WriteBuffer(4)
+        buf.put(1, 0xA)
+        assert buf.trim(1)
+        assert not buf.trim(1)
+        assert buf.stats.trims_absorbed == 1
+        assert len(buf) == 0
+
+    def test_drain_returns_everything(self):
+        buf = WriteBuffer(8)
+        for lpn in range(5):
+            buf.put(lpn, lpn)
+        drained = buf.drain()
+        assert len(drained) == 5
+        assert len(buf) == 0
+        assert buf.stats.pages_destaged == 5
+
+    def test_absorption_ratio(self):
+        buf = WriteBuffer(8)
+        for _ in range(3):
+            buf.put(1, 0)
+        buf.drain()
+        assert buf.stats.absorption_ratio == pytest.approx(2 / 3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WriteBuffer(0)
+        with pytest.raises(ValueError):
+            WriteBuffer(4, dram_us=-1.0)
+
+
+def cfg(buffer_pages=0) -> SSDConfig:
+    return SSDConfig(
+        geometry=GeometryConfig(channels=2, pages_per_block=8, blocks=32),
+        timing=TimingConfig(overhead_us=0.0),
+        write_buffer_pages=buffer_pages,
+    )
+
+
+def rewrite_trace(config, rounds=4) -> Trace:
+    """Skewed rewrites: a hot set smaller than the buffer plus a cold
+    sweep (cyclic patterns larger than an LRU buffer never hit)."""
+    lpns = int(config.logical_pages * 0.5)
+    hot = 16
+    reqs = []
+    t = 0.0
+    fp = 0
+    for _ in range(rounds):
+        for lpn in range(lpns):
+            reqs.append(IORequest(t, OpKind.WRITE, lpn, 1, (fp,)))
+            t += 100.0
+            fp += 1
+            hot_lpn = lpn % hot
+            reqs.append(IORequest(t, OpKind.WRITE, hot_lpn, 1, (fp,)))
+            t += 100.0
+            fp += 1
+    return Trace.from_requests(reqs, name="rewrite")
+
+
+class TestDeviceIntegration:
+    def test_buffer_absorbs_rewrites(self):
+        config = cfg(buffer_pages=64)
+        result = run_trace(make_scheme("baseline", config), rewrite_trace(config))
+        assert result.buffer is not None
+        assert result.buffer.overwrite_hits > 0
+        assert result.buffer.pages_destaged < result.buffer.pages_buffered
+
+    def test_no_buffer_by_default(self):
+        config = cfg()
+        result = run_trace(make_scheme("baseline", config), rewrite_trace(config))
+        assert result.buffer is None
+
+    def test_buffer_reduces_flash_writes(self):
+        config_plain = cfg()
+        config_buf = cfg(buffer_pages=64)
+        trace = rewrite_trace(config_plain)
+        plain = run_trace(make_scheme("baseline", config_plain), trace)
+        buffered = run_trace(make_scheme("baseline", config_buf), trace)
+        assert (
+            buffered.io.user_pages_programmed < plain.io.user_pages_programmed
+        )
+
+    def test_logical_content_correct_after_flush(self):
+        config = cfg(buffer_pages=32)
+        scheme = make_scheme("baseline", config)
+        trace = rewrite_trace(config, rounds=2)
+        run_trace.__wrapped__ if hasattr(run_trace, "__wrapped__") else None
+        from repro.device.ssd import SSD
+
+        SSD(scheme).replay(trace)
+        # after end-of-run flush, every LPN holds its last-written content
+        content = scheme.logical_content()
+        expected = {}
+        for _, op, lpn, npages, fps in trace.iter_rows():
+            if op == int(OpKind.WRITE):
+                for off in range(npages):
+                    expected[lpn + off] = int(fps[off])
+        assert content == expected
+        scheme.check_invariants()
+
+    def test_buffered_write_latency_is_dram_fast(self):
+        config = cfg(buffer_pages=1024)  # never overflows in this test
+        trace = Trace.from_requests(
+            [IORequest(0.0, OpKind.WRITE, 0, 2, (1, 2))]
+        )
+        result = run_trace(make_scheme("baseline", config), trace)
+        # 2 pages at 1us DRAM, no flash program on the critical path
+        assert result.response_times_us[0] == pytest.approx(2.0)
+
+    def test_buffered_read_hit_is_dram_fast(self):
+        config = cfg(buffer_pages=1024)
+        trace = Trace.from_requests(
+            [
+                IORequest(0.0, OpKind.WRITE, 0, 1, (1,)),
+                IORequest(500.0, OpKind.READ, 0, 1),
+            ]
+        )
+        result = run_trace(make_scheme("baseline", config), trace)
+        assert result.response_times_us[1] == pytest.approx(1.0)
+        assert result.buffer.read_hits == 1
+
+    def test_trim_absorbs_buffered_pages(self):
+        config = cfg(buffer_pages=1024)
+        trace = Trace.from_requests(
+            [
+                IORequest(0.0, OpKind.WRITE, 0, 1, (1,)),
+                IORequest(500.0, OpKind.TRIM, 0, 1),
+            ]
+        )
+        scheme = make_scheme("baseline", config)
+        result = run_trace(scheme, trace)
+        assert result.buffer.trims_absorbed == 1
+        assert scheme.live_logical_pages() == 0
+        assert scheme.flash.total_programs == 0  # never reached flash
+
+    def test_works_with_cagc(self):
+        config = dataclasses.replace(cfg(buffer_pages=64), cold_region_ratio=0.5)
+        scheme = make_scheme("cagc", config)
+        run_trace(scheme, rewrite_trace(config))
+        scheme.check_invariants()

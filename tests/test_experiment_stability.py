@@ -1,0 +1,30 @@
+"""Seed-stability checks: reported reductions are not one-seed flukes."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.common import reduction_stability
+
+
+@pytest.mark.parametrize("workload", ["homes", "mail"])
+def test_migration_reduction_stable_across_seeds(workload):
+    reductions = reduction_stability(workload, "pages_migrated", seeds=(0, 1, 2))
+    assert all(r > 15.0 for r in reductions), reductions
+    # spread across seeds stays moderate relative to the effect size
+    assert np.std(reductions) < max(10.0, 0.3 * np.mean(reductions))
+
+
+def test_erase_reduction_positive_every_seed():
+    reductions = reduction_stability("mail", "blocks_erased", seeds=(0, 1, 2))
+    assert all(r > 5.0 for r in reductions), reductions
+
+
+def test_response_reduction_positive_every_seed():
+    reductions = reduction_stability("mail", "mean_response_us", seeds=(0, 1, 2))
+    assert all(r > 0.0 for r in reductions), reductions
+
+
+def test_mail_beats_homes_on_every_seed():
+    mail = reduction_stability("mail", "pages_migrated", seeds=(0, 1, 2))
+    homes = reduction_stability("homes", "pages_migrated", seeds=(0, 1, 2))
+    assert all(m > h for m, h in zip(mail, homes))

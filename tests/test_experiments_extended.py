@@ -1,0 +1,76 @@
+"""Extended experiment-harness tests (quick scale)."""
+
+import pytest
+
+from repro.experiments import run_experiment
+from repro.experiments.fig7_placement_example import run_placement_demo
+
+
+class TestFig7:
+    def test_placement_demo_separates_regions(self):
+        data = run_placement_demo()
+        assert data["cold"]["mean_refcount"] >= 2.0
+        assert data["hot"]["mean_refcount"] < data["cold"]["mean_refcount"]
+
+    def test_report_renders(self):
+        report = run_experiment("fig7", scale="quick")
+        assert "cold" in report.data and "hot" in report.data
+        assert str(report)
+
+
+class TestFig13Quick:
+    def test_all_policies_positive_migration_cut(self):
+        report = run_experiment("fig13", scale="quick")
+        for workload, per_policy in report.data["pages_migrated"].items():
+            for policy, cut in per_policy.items():
+                assert cut > 0.0, (workload, policy)
+
+    def test_rows_cover_grid(self):
+        report = run_experiment("fig13", scale="quick")
+        assert len(report.rows) == 9  # 3 workloads x 3 policies
+
+
+class TestAblationReports:
+    @pytest.mark.parametrize(
+        "experiment_id",
+        [
+            "ablation-threshold",
+            "ablation-placement",
+            "ablation-hash-latency",
+            "ablation-op-space",
+            "ablation-gc-mode",
+            "ablation-separation",
+            "ablation-write-buffer",
+            "ablation-hot-victims",
+            "ablation-channels",
+        ],
+    )
+    def test_every_ablation_runs_at_quick_scale(self, experiment_id):
+        report = run_experiment(experiment_id, scale="quick")
+        assert report.rows
+        assert report.data
+        assert str(report)
+
+
+class TestDataSchemas:
+    def test_fig9_data_schema(self):
+        report = run_experiment("fig9", scale="quick")
+        for workload in ("homes", "web-vm", "mail"):
+            row = report.data[workload]
+            assert set(row) == {
+                "baseline",
+                "cagc",
+                "reduction_pct",
+                "paper_reduction_pct",
+            }
+
+    def test_fig11_inline_also_reported(self):
+        report = run_experiment("fig11", scale="quick")
+        for workload in ("homes", "web-vm", "mail"):
+            assert "inline_mean_us" in report.data[workload]
+
+    def test_fig12_cdf_arrays_usable(self):
+        report = run_experiment("fig12", scale="quick")
+        xs, fs = report.data["mail"]["cagc_cdf"]
+        assert len(xs) == len(fs) == 100
+        assert fs[-1] == pytest.approx(1.0)

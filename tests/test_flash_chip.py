@@ -1,0 +1,154 @@
+"""Tests for the flash array state machine."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import GeometryConfig
+from repro.flash.chip import FlashArray, PageState
+from repro.flash.errors import EraseError, InvalidAddressError, ProgramError
+
+
+@pytest.fixture
+def flash() -> FlashArray:
+    return FlashArray(GeometryConfig(channels=2, pages_per_block=4, blocks=8))
+
+
+class TestProgram:
+    def test_program_returns_sequential_ppns(self, flash):
+        assert flash.program(0) == 0
+        assert flash.program(0) == 1
+        assert flash.program(3) == 12
+
+    def test_program_marks_valid(self, flash):
+        ppn = flash.program(2)
+        assert flash.state_of(ppn) == PageState.VALID
+        assert flash.valid_count[2] == 1
+
+    def test_program_full_block_raises(self, flash):
+        for _ in range(4):
+            flash.program(0)
+        with pytest.raises(ProgramError):
+            flash.program(0)
+
+    def test_program_bad_block_raises(self, flash):
+        with pytest.raises(InvalidAddressError):
+            flash.program(99)
+
+    def test_program_records_write_time(self, flash):
+        flash.program(1, now_us=123.5)
+        assert flash.last_write_us[1] == 123.5
+
+    def test_total_programs_counter(self, flash):
+        for _ in range(3):
+            flash.program(0)
+        assert flash.total_programs == 3
+
+
+class TestInvalidate:
+    def test_invalidate_flips_state(self, flash):
+        ppn = flash.program(0)
+        flash.invalidate(ppn)
+        assert flash.state_of(ppn) == PageState.INVALID
+        assert flash.valid_count[0] == 0
+        assert flash.invalid_count[0] == 1
+
+    def test_invalidate_free_page_raises(self, flash):
+        with pytest.raises(ProgramError):
+            flash.invalidate(0)
+
+    def test_double_invalidate_raises(self, flash):
+        ppn = flash.program(0)
+        flash.invalidate(ppn)
+        with pytest.raises(ProgramError):
+            flash.invalidate(ppn)
+
+
+class TestErase:
+    def test_erase_with_valid_pages_refused(self, flash):
+        flash.program(0)
+        with pytest.raises(EraseError):
+            flash.erase(0)
+
+    def test_erase_resets_block(self, flash):
+        ppns = [flash.program(0) for _ in range(4)]
+        for ppn in ppns:
+            flash.invalidate(ppn)
+        flash.erase(0)
+        assert flash.invalid_count[0] == 0
+        assert flash.write_ptr[0] == 0
+        assert flash.erase_count[0] == 1
+        assert all(flash.state_of(p) == PageState.FREE for p in ppns)
+
+    def test_erased_block_reprogrammable(self, flash):
+        ppn = flash.program(0)
+        flash.invalidate(ppn)
+        flash.erase(0)
+        assert flash.program(0) == 0
+
+    def test_erase_empty_block_allowed(self, flash):
+        flash.erase(5)
+        assert flash.erase_count[5] == 1
+
+    def test_total_erases_counter(self, flash):
+        flash.erase(0)
+        flash.erase(1)
+        assert flash.total_erases == 2
+
+
+class TestQueries:
+    def test_free_pages_in(self, flash):
+        assert flash.free_pages_in(0) == 4
+        flash.program(0)
+        assert flash.free_pages_in(0) == 3
+
+    def test_valid_ppns_in(self, flash):
+        a = flash.program(0)
+        b = flash.program(0)
+        flash.invalidate(a)
+        assert flash.valid_ppns_in(0) == [b]
+
+    def test_block_info_snapshot(self, flash):
+        flash.program(0, now_us=9.0)
+        info = flash.block_info(0)
+        assert info.valid_pages == 1
+        assert info.free_pages == 3
+        assert info.last_write_us == 9.0
+        assert info.utilization == 0.25
+        assert not info.is_full
+        assert not info.is_clean
+
+    def test_iter_blocks_covers_all(self, flash):
+        assert len(list(flash.iter_blocks())) == 8
+
+
+class TestInvariants:
+    def test_invariants_hold_through_lifecycle(self, flash):
+        ppns = [flash.program(0) for _ in range(4)]
+        flash.check_invariants()
+        flash.invalidate(ppns[1])
+        flash.check_invariants()
+        for p in (ppns[0], ppns[2], ppns[3]):
+            flash.invalidate(p)
+        flash.erase(0)
+        flash.check_invariants()
+
+    @given(ops=st.lists(st.integers(min_value=0, max_value=2), max_size=120))
+    @settings(max_examples=40, deadline=None)
+    def test_random_legal_ops_keep_invariants(self, ops):
+        """Drive random legal operations; counters must track states."""
+        flash = FlashArray(GeometryConfig(channels=2, pages_per_block=4, blocks=4))
+        live = []
+        for op in ops:
+            if op == 0:  # program somewhere with room
+                for block in range(flash.blocks):
+                    if flash.free_pages_in(block) > 0:
+                        live.append(flash.program(block))
+                        break
+            elif op == 1 and live:  # invalidate oldest live page
+                flash.invalidate(live.pop(0))
+            elif op == 2:  # erase first erasable block
+                for block in range(flash.blocks):
+                    if flash.valid_count[block] == 0 and flash.write_ptr[block] > 0:
+                        flash.erase(block)
+                        break
+        flash.check_invariants()

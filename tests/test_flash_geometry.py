@@ -1,0 +1,82 @@
+"""Tests for flash address arithmetic."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.config import GeometryConfig
+from repro.flash.errors import InvalidAddressError
+from repro.flash.geometry import Geometry
+
+
+@pytest.fixture
+def geom() -> Geometry:
+    return Geometry(GeometryConfig(channels=4, pages_per_block=16, blocks=32))
+
+
+class TestConversions:
+    def test_split_ppn(self, geom):
+        assert geom.split_ppn(0) == (0, 0)
+        assert geom.split_ppn(15) == (0, 15)
+        assert geom.split_ppn(16) == (1, 0)
+        assert geom.split_ppn(35) == (2, 3)
+
+    def test_make_ppn_inverse(self, geom):
+        assert geom.make_ppn(2, 3) == 35
+
+    def test_ppn_to_block_and_offset(self, geom):
+        assert geom.ppn_to_block(33) == 2
+        assert geom.ppn_to_offset(33) == 1
+
+    def test_total_pages(self, geom):
+        assert geom.total_pages == 32 * 16
+
+    def test_channel_striping(self, geom):
+        assert geom.block_to_channel(0) == 0
+        assert geom.block_to_channel(1) == 1
+        assert geom.block_to_channel(4) == 0
+        assert geom.ppn_to_channel(16) == 1  # block 1
+
+
+class TestBoundsChecking:
+    def test_check_ppn_rejects_negative(self, geom):
+        with pytest.raises(InvalidAddressError):
+            geom.check_ppn(-1)
+
+    def test_check_ppn_rejects_too_large(self, geom):
+        with pytest.raises(InvalidAddressError):
+            geom.check_ppn(geom.total_pages)
+
+    def test_check_block_bounds(self, geom):
+        geom.check_block(31)
+        with pytest.raises(InvalidAddressError):
+            geom.check_block(32)
+
+    def test_invalid_config_rejected_at_construction(self):
+        with pytest.raises(ValueError):
+            Geometry(GeometryConfig(blocks=0))
+
+
+class TestPropertyRoundTrips:
+    @given(ppn=st.integers(min_value=0, max_value=32 * 16 - 1))
+    def test_split_make_roundtrip(self, ppn):
+        geom = Geometry(GeometryConfig(channels=4, pages_per_block=16, blocks=32))
+        block, offset = geom.split_ppn(ppn)
+        assert geom.make_ppn(block, offset) == ppn
+        assert 0 <= offset < geom.pages_per_block
+        assert 0 <= block < geom.blocks
+
+    @given(
+        channels=st.integers(min_value=1, max_value=8),
+        ppb=st.integers(min_value=1, max_value=64),
+        blocks_per_channel=st.integers(min_value=1, max_value=16),
+    )
+    def test_channel_always_in_range(self, channels, ppb, blocks_per_channel):
+        geom = Geometry(
+            GeometryConfig(
+                channels=channels,
+                pages_per_block=ppb,
+                blocks=channels * blocks_per_channel,
+            )
+        )
+        for block in range(geom.blocks):
+            assert 0 <= geom.block_to_channel(block) < channels

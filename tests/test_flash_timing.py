@@ -1,0 +1,59 @@
+"""Tests for the flash latency model."""
+
+import pytest
+
+from repro.config import TimingConfig
+from repro.flash.timing import FlashTiming
+
+
+@pytest.fixture
+def t() -> FlashTiming:
+    return FlashTiming(TimingConfig(overhead_us=0.0))
+
+
+class TestRequestTimes:
+    def test_single_page_read(self, t):
+        assert t.read_request_us(1, channels=4) == 12.0
+
+    def test_single_page_write(self, t):
+        assert t.write_request_us(1, channels=4) == 16.0
+
+    def test_pages_within_channel_count_parallel(self, t):
+        # 4 pages on 4 channels: one slot.
+        assert t.write_request_us(4, channels=4) == 16.0
+
+    def test_pages_beyond_channels_serialize(self, t):
+        # 5 pages on 4 channels: two slots.
+        assert t.write_request_us(5, channels=4) == 32.0
+        assert t.read_request_us(9, channels=4) == 36.0
+
+    def test_zero_pages_costs_overhead_only(self, t):
+        assert t.write_request_us(0, channels=4) == 0.0
+
+    def test_overhead_added_per_request(self):
+        t = FlashTiming(TimingConfig(overhead_us=20.0))
+        assert t.read_request_us(1, channels=4) == 32.0
+        assert t.write_request_us(0, channels=4) == 20.0
+
+    def test_single_channel(self, t):
+        assert t.write_request_us(3, channels=1) == 48.0
+
+
+class TestDedupCosts:
+    def test_inline_cost_is_serial_per_page(self, t):
+        assert t.inline_dedup_us(3) == 3 * (14.0 + 1.0)
+
+    def test_inline_cost_zero_pages(self, t):
+        assert t.inline_dedup_us(0) == 0.0
+
+
+class TestGCCosts:
+    def test_gc_migrate_copies_then_erases(self, t):
+        assert t.gc_migrate_us(10) == 10 * (12.0 + 16.0) + 1500.0
+
+    def test_gc_migrate_empty_block_is_erase_only(self, t):
+        assert t.gc_migrate_us(0) == 1500.0
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            FlashTiming(TimingConfig(read_us=-1.0))

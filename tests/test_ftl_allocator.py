@@ -1,0 +1,120 @@
+"""Tests for the block allocator and region bookkeeping."""
+
+import pytest
+
+from repro.config import GeometryConfig
+from repro.flash.chip import FlashArray
+from repro.ftl.allocator import BlockAllocator, DeviceFullError, Region
+
+
+@pytest.fixture
+def flash() -> FlashArray:
+    return FlashArray(GeometryConfig(channels=2, pages_per_block=4, blocks=6))
+
+
+@pytest.fixture
+def alloc(flash) -> BlockAllocator:
+    return BlockAllocator(flash)
+
+
+class TestAllocation:
+    def test_starts_with_all_blocks_free(self, alloc):
+        assert alloc.free_blocks == 6
+        assert alloc.free_fraction() == 1.0
+
+    def test_allocate_fills_block_in_order(self, alloc):
+        ppns = [alloc.allocate_page(Region.HOT) for _ in range(4)]
+        assert ppns == [0, 1, 2, 3]
+
+    def test_allocate_pulls_new_block_when_full(self, alloc):
+        for _ in range(5):
+            alloc.allocate_page(Region.HOT)
+        assert alloc.free_blocks == 4  # blocks 0 and 1 in use
+
+    def test_regions_use_separate_blocks(self, alloc):
+        hot = alloc.allocate_page(Region.HOT)
+        cold = alloc.allocate_page(Region.COLD)
+        assert alloc.flash.geometry.ppn_to_block(hot) != alloc.flash.geometry.ppn_to_block(cold)
+        assert alloc.region_of(0) == Region.HOT
+        assert alloc.region_of(1) == Region.COLD
+
+    def test_region_blocks_counter(self, alloc):
+        for _ in range(5):
+            alloc.allocate_page(Region.HOT)
+        alloc.allocate_page(Region.COLD)
+        assert alloc.region_blocks[Region.HOT] == 2
+        assert alloc.region_blocks[Region.COLD] == 1
+
+    def test_device_full_raises(self, alloc):
+        with pytest.raises(DeviceFullError):
+            for _ in range(100):
+                alloc.allocate_page(Region.HOT)
+
+    def test_write_time_propagates(self, alloc):
+        ppn = alloc.allocate_page(Region.HOT, now_us=77.0)
+        block = alloc.flash.geometry.ppn_to_block(ppn)
+        assert alloc.flash.last_write_us[block] == 77.0
+
+
+class TestRelease:
+    def test_release_returns_block_to_pool(self, alloc, flash):
+        ppns = [alloc.allocate_page(Region.HOT) for _ in range(4)]
+        for ppn in ppns:
+            flash.invalidate(ppn)
+        flash.erase(0)
+        alloc.release_block(0)
+        assert alloc.free_blocks == 6
+        assert alloc.region_of(0) == -1
+        assert alloc.region_blocks[Region.HOT] == 0
+
+    def test_release_active_block_rejected(self, alloc):
+        alloc.allocate_page(Region.HOT)
+        with pytest.raises(RuntimeError):
+            alloc.release_block(0)
+
+
+class TestVictimCandidates:
+    def test_partial_blocks_not_candidates(self, alloc, flash):
+        ppn = alloc.allocate_page(Region.HOT)
+        flash.invalidate(ppn)
+        assert not alloc.victim_candidates_mask().any()
+
+    def test_full_block_with_invalid_is_candidate(self, alloc, flash):
+        ppns = [alloc.allocate_page(Region.HOT) for _ in range(4)]
+        flash.invalidate(ppns[0])
+        mask = alloc.victim_candidates_mask()
+        assert mask[0]
+        assert mask.sum() == 1
+
+    def test_fully_valid_block_not_candidate(self, alloc):
+        for _ in range(4):
+            alloc.allocate_page(Region.HOT)
+        assert not alloc.victim_candidates_mask().any()
+
+    def test_active_block_excluded(self, alloc, flash):
+        # fill block 0 entirely and invalidate; start block 1 (active).
+        ppns = [alloc.allocate_page(Region.HOT) for _ in range(4)]
+        extra = alloc.allocate_page(Region.HOT)
+        for ppn in ppns:
+            flash.invalidate(ppn)
+        flash.invalidate(extra)
+        mask = alloc.victim_candidates_mask()
+        assert mask[0]
+        assert not mask[1]  # active, though it has an invalid page
+
+
+class TestInvariants:
+    def test_invariants_after_churn(self, alloc, flash):
+        for round_ in range(3):
+            ppns = [alloc.allocate_page(round_ % 2) for _ in range(8)]
+            for ppn in ppns:
+                flash.invalidate(ppn)
+            for block in range(flash.blocks):
+                if (
+                    flash.write_ptr[block] == 4
+                    and flash.valid_count[block] == 0
+                    and not alloc.is_active(block)
+                ):
+                    flash.erase(block)
+                    alloc.release_block(block)
+            alloc.check_invariants()

@@ -1,0 +1,144 @@
+"""Tests for the shared-page mapping table."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ftl.mapping import MappingError, MappingTable
+
+
+class TestBind:
+    def test_bind_and_lookup(self):
+        m = MappingTable()
+        assert m.lookup(5) is None
+        m.bind(5, 100)
+        assert m.lookup(5) == 100
+
+    def test_bind_returns_previous(self):
+        m = MappingTable()
+        assert m.bind(1, 10) is None
+        assert m.bind(1, 20) == 10
+        assert m.lookup(1) == 20
+
+    def test_refcount_counts_sharers(self):
+        m = MappingTable()
+        m.bind(1, 10)
+        m.bind(2, 10)
+        m.bind(3, 10)
+        assert m.refcount(10) == 3
+        assert sorted(m.lpns_of(10)) == [1, 2, 3]
+
+    def test_rebind_same_lpn_same_ppn_keeps_refcount(self):
+        m = MappingTable()
+        m.bind(1, 10)
+        old = m.bind(1, 10)
+        assert old == 10
+        assert m.refcount(10) == 1
+
+    def test_old_ppn_loses_reference(self):
+        m = MappingTable()
+        m.bind(1, 10)
+        m.bind(2, 10)
+        m.bind(1, 20)
+        assert m.refcount(10) == 1
+        assert m.refcount(20) == 1
+
+    def test_len_counts_lpns(self):
+        m = MappingTable()
+        m.bind(1, 10)
+        m.bind(2, 10)
+        assert len(m) == 2
+
+
+class TestUnbind:
+    def test_unbind_returns_ppn(self):
+        m = MappingTable()
+        m.bind(1, 10)
+        assert m.unbind(1) == 10
+        assert m.lookup(1) is None
+        assert m.refcount(10) == 0
+
+    def test_unbind_unknown_returns_none(self):
+        assert MappingTable().unbind(99) is None
+
+    def test_unbind_keeps_other_sharers(self):
+        m = MappingTable()
+        m.bind(1, 10)
+        m.bind(2, 10)
+        m.unbind(1)
+        assert m.refcount(10) == 1
+        assert m.lookup(2) == 10
+
+
+class TestRemap:
+    def test_remap_moves_all_referrers(self):
+        m = MappingTable()
+        m.bind(1, 10)
+        m.bind(2, 10)
+        moved = m.remap_ppn(10, 50)
+        assert moved == 2
+        assert m.lookup(1) == 50
+        assert m.lookup(2) == 50
+        assert m.refcount(10) == 0
+        assert m.refcount(50) == 2
+
+    def test_remap_merges_into_existing(self):
+        m = MappingTable()
+        m.bind(1, 10)
+        m.bind(2, 20)
+        m.remap_ppn(10, 20)
+        assert m.refcount(20) == 2
+
+    def test_remap_unmapped_is_noop(self):
+        m = MappingTable()
+        assert m.remap_ppn(10, 20) == 0
+
+    def test_remap_to_self_rejected(self):
+        m = MappingTable()
+        m.bind(1, 10)
+        with pytest.raises(MappingError):
+            m.remap_ppn(10, 10)
+
+    def test_is_mapped(self):
+        m = MappingTable()
+        assert not m.is_mapped(10)
+        m.bind(1, 10)
+        assert m.is_mapped(10)
+
+
+class TestInvariantsProperty:
+    @given(
+        ops=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=2),
+                st.integers(min_value=0, max_value=9),   # lpn
+                st.integers(min_value=0, max_value=14),  # ppn
+            ),
+            max_size=200,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_random_ops_keep_forward_reverse_consistent(self, ops):
+        m = MappingTable()
+        for op, lpn, ppn in ops:
+            if op == 0:
+                m.bind(lpn, ppn)
+            elif op == 1:
+                m.unbind(lpn)
+            else:
+                target = (ppn + 1) % 15
+                if target != ppn:
+                    m.remap_ppn(ppn, target)
+        m.check_invariants()
+
+    @given(
+        binds=st.lists(
+            st.tuples(st.integers(0, 20), st.integers(0, 5)), min_size=1, max_size=100
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_refcounts_sum_to_lpn_count(self, binds):
+        m = MappingTable()
+        for lpn, ppn in binds:
+            m.bind(lpn, ppn)
+        total = sum(m.refcount(p) for p in set(m.mapped_ppns()))
+        assert total == len(m)

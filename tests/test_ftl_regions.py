@@ -1,0 +1,64 @@
+"""Tests for region composition statistics — and the paper's III-C claim."""
+
+import pytest
+
+from repro.config import small_config
+from repro.device.ssd import run_trace
+from repro.ftl.regions import region_stats
+from repro.schemes import make_scheme
+from repro.workloads.fiu import build_fiu_trace
+
+
+@pytest.fixture(scope="module")
+def cagc_after_mail():
+    cfg = small_config(blocks=128, pages_per_block=32)
+    trace = build_fiu_trace("mail", cfg, n_requests=0, fill_factor=3.0)
+    scheme = make_scheme("cagc", cfg)
+    run_trace(scheme, trace)
+    return scheme
+
+
+class TestRegionStats:
+    def test_fresh_scheme_has_empty_regions(self, tiny_config):
+        scheme = make_scheme("cagc", tiny_config)
+        stats = region_stats(scheme)
+        assert stats["hot"].blocks == 0
+        assert stats["cold"].blocks == 0
+        assert stats["cold"].invalid_density == 0.0
+
+    def test_regions_populated_after_run(self, cagc_after_mail):
+        stats = region_stats(cagc_after_mail)
+        assert stats["hot"].blocks > 0
+        assert stats["cold"].blocks > 0
+
+    def test_paper_claim_cold_region_rarely_invalidated(self, cagc_after_mail):
+        """Section III-C: cold blocks 'will not likely have any invalid
+        data pages' — their invalid density must sit far below hot's."""
+        stats = region_stats(cagc_after_mail)
+        assert stats["cold"].invalid_density < 0.5 * max(
+            stats["hot"].invalid_density, 1e-9
+        )
+        assert stats["cold"].invalid_density < 0.2
+
+    def test_cold_pages_are_shared(self, cagc_after_mail):
+        """Cold residents are there because of their reference counts."""
+        stats = region_stats(cagc_after_mail)
+        assert stats["cold"].mean_refcount >= 2.0
+        assert stats["cold"].mean_refcount > stats["hot"].mean_refcount
+
+    def test_page_accounting_consistent(self, cagc_after_mail):
+        scheme = cagc_after_mail
+        stats = region_stats(scheme)
+        ppb = scheme.flash.pages_per_block
+        for region in stats.values():
+            total = region.valid_pages + region.invalid_pages + region.free_pages
+            assert total == region.blocks * ppb
+
+    def test_baseline_uses_single_region(self):
+        cfg = small_config(blocks=64, pages_per_block=16)
+        trace = build_fiu_trace("homes", cfg, n_requests=2000)
+        scheme = make_scheme("baseline", cfg)
+        run_trace(scheme, trace)
+        stats = region_stats(scheme)
+        assert stats["cold"].blocks == 0
+        assert stats["hot"].blocks > 0

@@ -1,0 +1,38 @@
+"""Tests for wear statistics."""
+
+from repro.config import GeometryConfig
+from repro.flash.chip import FlashArray
+from repro.ftl.wear import wear_stats
+
+
+def test_fresh_device_has_zero_wear():
+    flash = FlashArray(GeometryConfig(channels=1, pages_per_block=4, blocks=4))
+    stats = wear_stats(flash)
+    assert stats.total_erases == 0
+    assert stats.max_erase == 0
+    assert stats.cov == 0.0
+
+
+def test_wear_counts_follow_erases():
+    flash = FlashArray(GeometryConfig(channels=1, pages_per_block=4, blocks=4))
+    for _ in range(3):
+        flash.erase(0)
+    flash.erase(1)
+    stats = wear_stats(flash)
+    assert stats.total_erases == 4
+    assert stats.max_erase == 3
+    assert stats.mean_erase == 1.0
+
+
+def test_cov_zero_for_even_wear():
+    flash = FlashArray(GeometryConfig(channels=1, pages_per_block=4, blocks=4))
+    for block in range(4):
+        flash.erase(block)
+    assert wear_stats(flash).cov == 0.0
+
+
+def test_cov_positive_for_uneven_wear():
+    flash = FlashArray(GeometryConfig(channels=1, pages_per_block=4, blocks=4))
+    for _ in range(10):
+        flash.erase(0)
+    assert wear_stats(flash).cov > 1.0

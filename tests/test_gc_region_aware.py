@@ -1,0 +1,82 @@
+"""Tests for the region-aware (hot-first) victim policy."""
+
+import numpy as np
+import pytest
+
+from repro.config import GeometryConfig, SSDConfig
+from repro.core.cagc import CAGCScheme
+from repro.flash.chip import FlashArray
+from repro.ftl.allocator import BlockAllocator, Region
+from repro.ftl.gc import GreedyPolicy, RegionAwarePolicy
+
+
+def setup_two_region_flash():
+    flash = FlashArray(GeometryConfig(channels=1, pages_per_block=4, blocks=8))
+    alloc = BlockAllocator(flash)
+    # block 0: hot, fully written, 2 invalid
+    hot_ppns = [alloc.allocate_page(Region.HOT) for _ in range(4)]
+    for ppn in hot_ppns[:2]:
+        flash.invalidate(ppn)
+    # block 1: cold, fully written, 3 invalid (greedier choice!)
+    cold_ppns = [alloc.allocate_page(Region.COLD) for _ in range(4)]
+    for ppn in cold_ppns[:3]:
+        flash.invalidate(ppn)
+    # retire active slots so both blocks are victim-eligible
+    for _ in range(4):
+        alloc.allocate_page(Region.HOT)
+    for _ in range(4):
+        alloc.allocate_page(Region.COLD)
+    return flash, alloc
+
+
+class TestRegionAwarePolicy:
+    def test_prefers_hot_even_when_cold_is_greedier(self):
+        flash, alloc = setup_two_region_flash()
+        policy = RegionAwarePolicy(GreedyPolicy(), alloc)
+        victim = policy.select(flash, alloc.victim_candidates_mask(), 0.0)
+        assert victim == 0  # hot block despite fewer invalid pages
+
+    def test_falls_back_to_cold_when_no_hot_victim(self):
+        flash, alloc = setup_two_region_flash()
+        mask = alloc.victim_candidates_mask()
+        mask[0] = False  # no hot candidates left
+        policy = RegionAwarePolicy(GreedyPolicy(), alloc)
+        assert policy.select(flash, mask, 0.0) == 1
+
+    def test_none_when_no_candidates(self):
+        flash, alloc = setup_two_region_flash()
+        policy = RegionAwarePolicy(GreedyPolicy(), alloc)
+        empty = np.zeros(flash.blocks, dtype=bool)
+        assert policy.select(flash, empty, 0.0) is None
+
+    def test_name_reflects_base(self):
+        flash, alloc = setup_two_region_flash()
+        assert RegionAwarePolicy(GreedyPolicy(), alloc).name == "hot-first(greedy)"
+
+
+class TestCAGCIntegration:
+    def test_prefer_hot_victims_option_wraps_policy(self):
+        config = SSDConfig(
+            geometry=GeometryConfig(channels=2, pages_per_block=8, blocks=16),
+            cold_region_ratio=0.5,
+        )
+        scheme = CAGCScheme(config, prefer_hot_victims=True)
+        assert isinstance(scheme.policy, RegionAwarePolicy)
+
+    def test_run_with_hot_preference_stays_consistent(self):
+        config = SSDConfig(
+            geometry=GeometryConfig(channels=2, pages_per_block=8, blocks=16),
+            cold_region_ratio=0.5,
+        )
+        scheme = CAGCScheme(config, prefer_hot_victims=True)
+        fp = 0
+        lpns = int(config.logical_pages * 0.9)
+        for _ in range(5):
+            for lpn in range(lpns):
+                if scheme.needs_gc():
+                    scheme.run_gc(0.0)
+                content = fp % 7 if lpn % 2 == 0 else 10_000 + fp
+                scheme.write_page(lpn, content, 0.0)
+                fp += 1
+        scheme.check_invariants()
+        assert scheme.gc_counters.blocks_erased > 0

@@ -1,0 +1,73 @@
+"""Tests for the multi-lane hash engine (coprocessor model)."""
+
+import dataclasses
+
+import pytest
+
+from repro.config import TimingConfig, small_config
+from repro.core.pipeline import GCPipeline
+from repro.device.ssd import run_trace
+from repro.flash.timing import FlashTiming
+from repro.schemes import make_scheme
+from repro.workloads.request import IORequest, OpKind
+from repro.workloads.trace import Trace
+
+
+class TestInlineCost:
+    def test_single_lane_serial(self):
+        t = FlashTiming(TimingConfig(hash_lanes=1))
+        assert t.inline_dedup_us(4) == 4 * 14.0 + 4 * 1.0
+
+    def test_four_lanes_quarter_hash_time(self):
+        t = FlashTiming(TimingConfig(hash_lanes=4))
+        assert t.inline_dedup_us(4) == 14.0 + 4 * 1.0
+
+    def test_partial_batch_rounds_up(self):
+        t = FlashTiming(TimingConfig(hash_lanes=4))
+        assert t.inline_dedup_us(5) == 2 * 14.0 + 5 * 1.0
+
+    def test_lanes_validation(self):
+        with pytest.raises(ValueError):
+            TimingConfig(hash_lanes=0).validate()
+
+
+class TestPipelineLanes:
+    def test_more_lanes_never_slower(self):
+        def makespan(lanes, pages=32):
+            t = FlashTiming(TimingConfig(hash_lanes=lanes))
+            pipe = GCPipeline(t)
+            for _ in range(pages):
+                pipe.process_page(write=False)
+            return pipe.finish()
+
+        assert makespan(4) <= makespan(2) <= makespan(1)
+
+    def test_lanes_remove_hash_bottleneck(self):
+        """With hash > read, one lane bottlenecks on hashing; enough
+        lanes shift the bottleneck back to the read path."""
+        slow_hash = TimingConfig(read_us=10.0, hash_us=40.0, lookup_us=0.0)
+        one = GCPipeline(FlashTiming(slow_hash))
+        many = GCPipeline(FlashTiming(dataclasses.replace(slow_hash, hash_lanes=8)))
+        for _ in range(32):
+            one.process_page(write=False)
+            many.process_page(write=False)
+        erase = slow_hash.erase_us
+        assert one.finish() - erase >= 32 * 40.0  # hash-bound
+        # 8 lanes: bound by the read stream (320us) plus one hash (40us)
+        assert many.finish() - erase == pytest.approx(32 * 10.0 + 40.0)
+
+
+class TestDeviceLevel:
+    def test_coprocessor_shrinks_inline_overhead(self):
+        trace = Trace.from_requests(
+            [IORequest(float(i * 1000), OpKind.WRITE, i, 4, (i * 4, i * 4 + 1, i * 4 + 2, i * 4 + 3)) for i in range(50)]
+        )
+        means = {}
+        for lanes in (1, 4):
+            cfg = small_config(blocks=64, pages_per_block=16)
+            cfg = dataclasses.replace(
+                cfg, timing=dataclasses.replace(cfg.timing, hash_lanes=lanes)
+            )
+            result = run_trace(make_scheme("inline-dedupe", cfg), trace)
+            means[lanes] = result.latency.mean_us
+        assert means[4] < means[1]

@@ -1,0 +1,100 @@
+"""Page-conservation integration tests.
+
+The accounting identities EXPERIMENTS.md's analysis rests on must hold
+exactly in the simulator for every scheme and workload:
+
+* programs_total = user_programs + gc_migrations
+* erases x pages_per_block = programs_total - (free_start - free_end pages)
+* live mapped pages == valid flash pages referenced by the mapping
+"""
+
+import pytest
+
+from repro.config import small_config
+from repro.device.ssd import run_trace
+from repro.schemes import make_scheme
+from repro.workloads.fiu import build_fiu_trace
+
+SCHEMES = ("baseline", "inline-dedupe", "cagc", "lba-hotcold")
+
+
+@pytest.fixture(scope="module")
+def runs():
+    cfg = small_config(blocks=64, pages_per_block=16)
+    trace = build_fiu_trace("mail", cfg, n_requests=0, fill_factor=3.0)
+    out = {}
+    for name in SCHEMES:
+        scheme = make_scheme(name, cfg)
+        result = run_trace(scheme, trace)
+        out[name] = (scheme, result, cfg)
+    return out
+
+
+class TestConservation:
+    @pytest.mark.parametrize("name", SCHEMES)
+    def test_programs_decompose(self, runs, name):
+        scheme, result, _ = runs[name]
+        assert (
+            scheme.flash.total_programs
+            == result.io.user_pages_programmed + result.gc.pages_migrated
+        )
+
+    @pytest.mark.parametrize("name", SCHEMES)
+    def test_erase_page_balance(self, runs, name):
+        """free_end = free_start - programs + erases*ppb, in pages."""
+        scheme, result, cfg = runs[name]
+        ppb = cfg.geometry.pages_per_block
+        total_pages = cfg.geometry.total_pages
+        free_pages_end = int(
+            (scheme.flash.write_ptr == 0).sum() * ppb
+            + sum(
+                ppb - int(scheme.flash.write_ptr[b])
+                for b in range(scheme.flash.blocks)
+                if scheme.flash.write_ptr[b] > 0
+            )
+        )
+        expected = total_pages - scheme.flash.total_programs + scheme.flash.total_erases * ppb
+        assert free_pages_end == expected
+
+    @pytest.mark.parametrize("name", SCHEMES)
+    def test_mapped_pages_are_valid(self, runs, name):
+        scheme, _, _ = runs[name]
+        from repro.flash.chip import PageState
+
+        for ppn in scheme.mapping.mapped_ppns():
+            assert scheme.flash.state_of(ppn) == PageState.VALID
+
+    @pytest.mark.parametrize("name", SCHEMES)
+    def test_valid_pages_all_referenced(self, runs, name):
+        """No leaked valid pages: every VALID flash page has a referrer."""
+        import numpy as np
+
+        from repro.flash.chip import PageState
+
+        scheme, _, _ = runs[name]
+        valid_ppns = set(
+            int(p) for p in np.nonzero(scheme.flash.page_state == PageState.VALID)[0]
+        )
+        mapped = set(scheme.mapping.mapped_ppns())
+        assert valid_ppns == mapped
+
+    @pytest.mark.parametrize("name", SCHEMES)
+    def test_full_invariant_suite(self, runs, name):
+        scheme, _, _ = runs[name]
+        scheme.check_invariants()
+
+
+class TestDedupEconomy:
+    def test_inline_physical_pages_equal_unique_live_contents(self, runs):
+        scheme, _, _ = runs["inline-dedupe"]
+        live_contents = {scheme.page_fp[p] for p in scheme.mapping.mapped_ppns()}
+        assert len(live_contents) == len(set(scheme.mapping.mapped_ppns()))
+
+    def test_index_memory_reported(self, runs):
+        scheme, _, _ = runs["inline-dedupe"]
+        assert scheme.index.memory_bytes() == len(scheme.index) * 48
+
+    def test_cagc_live_pages_at_most_baseline(self, runs):
+        base, _, _ = runs["baseline"]
+        cagc, _, _ = runs["cagc"]
+        assert len(cagc.page_fp) <= len(base.page_fp)

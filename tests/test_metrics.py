@@ -1,0 +1,152 @@
+"""Tests for latency recording, counters, CDFs and report helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.metrics.cdf import cdf_at, empirical_cdf, quantile
+from repro.metrics.counters import GCCounters, IOCounters
+from repro.metrics.latency import LatencyRecorder
+from repro.metrics.report import format_table, normalize, reduction_pct
+
+
+class TestLatencyRecorder:
+    def test_record_and_summary(self):
+        rec = LatencyRecorder()
+        for v in (10.0, 20.0, 30.0):
+            rec.record(v)
+        s = rec.summary()
+        assert s.count == 3
+        assert s.mean_us == 20.0
+        assert s.median_us == 20.0
+        assert s.max_us == 30.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyRecorder().record(-1.0)
+
+    def test_empty_summary_zeroes(self):
+        s = LatencyRecorder().summary()
+        assert s.count == 0
+        assert s.mean_us == 0.0
+
+    def test_growth_beyond_capacity(self):
+        rec = LatencyRecorder(capacity=4)
+        for i in range(1000):
+            rec.record(float(i))
+        assert len(rec) == 1000
+        assert rec.samples()[-1] == 999.0
+
+    def test_percentiles_ordered(self):
+        rec = LatencyRecorder()
+        for i in range(1, 1001):
+            rec.record(float(i))
+        s = rec.summary()
+        assert s.median_us <= s.p95_us <= s.p99_us <= s.p999_us <= s.max_us
+
+    def test_summary_as_dict(self):
+        rec = LatencyRecorder()
+        rec.record(5.0)
+        d = rec.summary().as_dict()
+        assert d["count"] == 1 and d["mean_us"] == 5.0
+
+    def test_cdf_shortcut(self):
+        rec = LatencyRecorder()
+        for i in range(100):
+            rec.record(float(i))
+        xs, fs = rec.cdf(points=50)
+        assert len(xs) == 50
+        assert fs[-1] == 1.0
+
+
+class TestCDF:
+    def test_empirical_cdf_endpoints(self):
+        xs, fs = empirical_cdf(np.array([1.0, 2.0, 3.0]), points=10)
+        assert xs[0] == 0.0
+        assert xs[-1] == 3.0
+        assert fs[-1] == 1.0
+
+    def test_cdf_monotone(self):
+        rng = np.random.default_rng(0)
+        xs, fs = empirical_cdf(rng.exponential(10.0, 500), points=64)
+        assert (np.diff(fs) >= 0).all()
+
+    def test_empty_input(self):
+        xs, fs = empirical_cdf(np.array([]))
+        assert len(xs) == 0 and len(fs) == 0
+
+    def test_points_validation(self):
+        with pytest.raises(ValueError):
+            empirical_cdf(np.array([1.0]), points=1)
+
+    def test_cdf_at(self):
+        samples = np.array([1.0, 2.0, 3.0, 4.0])
+        assert cdf_at(samples, 2.5) == 0.5
+        assert cdf_at(samples, 0.0) == 0.0
+        assert cdf_at(np.array([]), 1.0) == 0.0
+
+    def test_quantile(self):
+        samples = np.arange(101, dtype=float)
+        assert quantile(samples, 0.5) == 50.0
+        assert quantile(np.array([]), 0.5) == 0.0
+        with pytest.raises(ValueError):
+            quantile(samples, 1.5)
+
+    @given(
+        values=st.lists(
+            st.floats(min_value=0.0, max_value=1e6, allow_nan=False), min_size=1, max_size=200
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_cdf_property_bounds(self, values):
+        xs, fs = empirical_cdf(np.array(values), points=16)
+        assert (fs >= 0).all() and (fs <= 1).all()
+        assert fs[-1] == pytest.approx(1.0)
+
+
+class TestCounters:
+    def test_merge_block(self):
+        gc = GCCounters()
+        gc.merge_block(pages_examined=10, pages_migrated=7, dedup_skipped=3, duration_us=50.0)
+        gc.merge_block(pages_examined=5, pages_migrated=5)
+        assert gc.blocks_erased == 2
+        assert gc.pages_examined == 15
+        assert gc.pages_migrated == 12
+        assert gc.dedup_skipped == 3
+        assert gc.gc_busy_us == 50.0
+
+    def test_waf_counts_gc_writes(self):
+        io = IOCounters(logical_pages_written=100, user_pages_programmed=100)
+        gc = GCCounters(pages_migrated=50)
+        assert io.write_amplification(gc) == 1.5
+
+    def test_waf_with_inline_dedup_below_one(self):
+        io = IOCounters(logical_pages_written=100, user_pages_programmed=40)
+        assert io.write_amplification(GCCounters()) == 0.4
+
+    def test_waf_no_writes(self):
+        assert IOCounters().write_amplification(GCCounters()) == 0.0
+
+
+class TestReport:
+    def test_normalize(self):
+        norm = normalize({"a": 10.0, "b": 5.0}, "a")
+        assert norm == {"a": 1.0, "b": 0.5}
+
+    def test_normalize_zero_baseline(self):
+        assert normalize({"a": 0.0, "b": 5.0}, "a") == {"a": 0.0, "b": 0.0}
+
+    def test_reduction_pct(self):
+        assert reduction_pct(100, 25) == 75.0
+        assert reduction_pct(0, 10) == 0.0
+
+    def test_format_table_alignment(self):
+        out = format_table(["x", "yy"], [[1, 2.5], [30, 4.0]], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "x" in lines[1] and "yy" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_table_bad_row_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a"], [[1, 2]])

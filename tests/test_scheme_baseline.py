@@ -1,0 +1,113 @@
+"""Tests for the Baseline scheme (no dedup)."""
+
+import pytest
+
+from repro.flash.chip import PageState
+from repro.schemes.baseline import BaselineScheme
+
+
+@pytest.fixture
+def scheme(tiny_config):
+    return BaselineScheme(tiny_config)
+
+
+class TestWrites:
+    def test_every_page_programs(self, scheme):
+        out = scheme.write_request(0, [11, 22, 33], 0.0)
+        assert out.programs == 3
+        assert out.hashed_pages == 0
+        assert scheme.io_counters.logical_pages_written == 3
+        assert scheme.io_counters.user_pages_programmed == 3
+
+    def test_duplicate_content_still_programs(self, scheme):
+        scheme.write_request(0, [11], 0.0)
+        out = scheme.write_request(1, [11], 0.0)
+        assert out.programs == 1  # content-blind
+        assert scheme.flash.total_programs == 2
+
+    def test_overwrite_invalidates_old_page(self, scheme):
+        scheme.write_request(0, [11], 0.0)
+        old_ppn = scheme.mapping.lookup(0)
+        scheme.write_request(0, [22], 0.0)
+        assert scheme.flash.state_of(old_ppn) == PageState.INVALID
+        assert scheme.mapping.lookup(0) != old_ppn
+
+    def test_logical_content_tracks_writes(self, scheme):
+        scheme.write_request(0, [11, 22], 0.0)
+        scheme.write_request(1, [33], 0.0)
+        assert scheme.logical_content() == {0: 11, 1: 33}
+
+    def test_refcount_always_one(self, scheme):
+        scheme.write_request(0, [11], 0.0)
+        scheme.write_request(1, [11], 0.0)
+        for ppn in scheme.mapping.mapped_ppns():
+            assert scheme.mapping.refcount(ppn) == 1
+
+
+class TestReadsAndTrims:
+    def test_read_counts_mapped_pages(self, scheme):
+        scheme.write_request(4, [1, 2], 0.0)
+        assert scheme.read_request(4, 3) == 2
+        assert scheme.io_counters.pages_read == 3
+
+    def test_trim_releases_pages(self, scheme):
+        scheme.write_request(0, [11, 22], 0.0)
+        assert scheme.trim_request(0, 2, 0.0) == 2
+        assert scheme.live_logical_pages() == 0
+        assert scheme.flash.invalid_count.sum() == 2
+
+    def test_trim_unmapped_is_noop(self, scheme):
+        assert scheme.trim_request(5, 3, 0.0) == 0
+
+
+class TestGC:
+    def fill_device(self, scheme, spread=2):
+        """Write then overwrite to build invalid pages."""
+        lpns = scheme.config.logical_pages // spread
+        fp = 0
+        for lpn in range(lpns):
+            scheme.write_page(lpn, fp, 0.0)
+            fp += 1
+        for lpn in range(lpns):
+            scheme.write_page(lpn, fp, 0.0)
+            fp += 1
+
+    def test_needs_gc_after_fill(self, scheme):
+        assert not scheme.needs_gc()
+        self.fill_device(scheme)
+        assert scheme.needs_gc()
+
+    def test_run_gc_reclaims_space(self, scheme):
+        self.fill_device(scheme)
+        before = scheme.allocator.free_blocks
+        duration = scheme.run_gc(0.0)
+        assert duration > 0
+        assert scheme.allocator.free_blocks > before
+        assert scheme.gc_counters.blocks_erased > 0
+
+    def test_gc_preserves_logical_content(self, scheme):
+        self.fill_device(scheme)
+        content = scheme.logical_content()
+        scheme.run_gc(0.0)
+        assert scheme.logical_content() == content
+        scheme.check_invariants()
+
+    def test_gc_burst_bounded(self, scheme):
+        self.fill_device(scheme)
+        scheme.run_gc(0.0)
+        assert scheme.gc_counters.blocks_erased <= scheme.config.gc_burst_blocks
+
+    def test_gc_noop_when_above_watermark(self, scheme):
+        scheme.write_request(0, [1], 0.0)
+        assert scheme.run_gc(0.0) == 0.0
+        assert scheme.gc_counters.gc_invocations == 0
+
+    def test_collect_block_duration_matches_model(self, scheme):
+        self.fill_device(scheme)
+        mask = scheme.allocator.victim_candidates_mask()
+        victim = int(mask.nonzero()[0][0])
+        valid = int(scheme.flash.valid_count[victim])
+        outcome = scheme.collect_block(victim, 0.0)
+        assert outcome.duration_us == scheme.timing.gc_migrate_us(valid)
+        assert outcome.pages_migrated == valid
+        assert outcome.dedup_skipped == 0

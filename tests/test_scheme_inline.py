@@ -1,0 +1,103 @@
+"""Tests for the Inline-Dedupe scheme."""
+
+import pytest
+
+from repro.flash.chip import PageState
+from repro.schemes.inline_dedupe import InlineDedupeScheme
+
+
+@pytest.fixture
+def scheme(tiny_config):
+    return InlineDedupeScheme(tiny_config)
+
+
+class TestWritePath:
+    def test_unique_content_programs_and_indexes(self, scheme):
+        out = scheme.write_request(0, [11], 0.0)
+        assert out.programs == 1
+        assert out.hashed_pages == 1
+        assert out.dedup_hits == 0
+        assert len(scheme.index) == 1
+
+    def test_duplicate_content_skips_program(self, scheme):
+        scheme.write_request(0, [11], 0.0)
+        out = scheme.write_request(1, [11], 0.0)
+        assert out.programs == 0
+        assert out.dedup_hits == 1
+        assert scheme.flash.total_programs == 1
+        assert scheme.mapping.lookup(0) == scheme.mapping.lookup(1)
+
+    def test_every_page_pays_hash(self, scheme):
+        scheme.write_request(0, [11], 0.0)
+        out = scheme.write_request(1, [11, 22, 11], 0.0)
+        assert out.hashed_pages == 3
+
+    def test_refcount_grows_with_sharers(self, scheme):
+        for lpn in range(4):
+            scheme.write_request(lpn, [77], 0.0)
+        ppn = scheme.mapping.lookup(0)
+        assert scheme.mapping.refcount(ppn) == 4
+
+    def test_rewrite_same_content_same_lpn_is_stable(self, scheme):
+        scheme.write_request(0, [11], 0.0)
+        ppn = scheme.mapping.lookup(0)
+        scheme.write_request(0, [11], 0.0)
+        assert scheme.mapping.lookup(0) == ppn
+        assert scheme.mapping.refcount(ppn) == 1
+        scheme.check_invariants()
+
+    def test_overwrite_releases_only_when_last_ref_gone(self, scheme):
+        scheme.write_request(0, [11], 0.0)
+        scheme.write_request(1, [11], 0.0)
+        shared = scheme.mapping.lookup(0)
+        scheme.write_request(0, [22], 0.0)
+        assert scheme.flash.state_of(shared) == PageState.VALID
+        scheme.write_request(1, [33], 0.0)
+        assert scheme.flash.state_of(shared) == PageState.INVALID
+        assert not scheme.index.contains_ppn(shared)
+
+    def test_dead_content_can_be_rewritten(self, scheme):
+        scheme.write_request(0, [11], 0.0)
+        scheme.write_request(0, [22], 0.0)  # kills content 11
+        out = scheme.write_request(1, [11], 0.0)
+        assert out.programs == 1  # content 11 must be stored again
+
+    def test_inline_hit_counter(self, scheme):
+        scheme.write_request(0, [11], 0.0)
+        scheme.write_request(1, [11], 0.0)
+        assert scheme.io_counters.inline_dedup_hits == 1
+
+
+class TestGC:
+    def fill(self, scheme):
+        lpns = scheme.config.logical_pages
+        for lpn in range(lpns):
+            if scheme.needs_gc():
+                scheme.run_gc(0.0)
+            scheme.write_page(lpn, 1000 + lpn, 0.0)
+        for lpn in range(lpns // 2):
+            if scheme.needs_gc():
+                scheme.run_gc(0.0)
+            scheme.write_page(lpn, 5000 + lpn, 0.0)
+
+    def test_gc_preserves_content_and_index(self, scheme):
+        self.fill(scheme)
+        content = scheme.logical_content()
+        while scheme.needs_gc():
+            if scheme.run_gc(0.0) == 0.0:
+                break
+        assert scheme.logical_content() == content
+        scheme.check_invariants()
+
+    def test_gc_moves_index_entries_with_pages(self, scheme):
+        self.fill(scheme)
+        scheme.run_gc(0.0)
+        # every canonical entry still points at a VALID page
+        for ppn in list(scheme.mapping.mapped_ppns()):
+            if scheme.index.contains_ppn(ppn):
+                assert scheme.flash.state_of(ppn) == PageState.VALID
+
+    def test_logical_content_shared_across_lpns(self, scheme):
+        scheme.write_request(0, [11], 0.0)
+        scheme.write_request(1, [11], 0.0)
+        assert scheme.logical_content() == {0: 11, 1: 11}

@@ -1,0 +1,124 @@
+"""Property-based cross-scheme tests.
+
+The fundamental FTL contract: whatever the scheme (Baseline,
+Inline-Dedupe, CAGC), any sequence of writes, trims and GC bursts must
+leave the *logical* state — the LPN -> content map — exactly what the
+request stream dictates.  Dedup and GC may only change the physical
+layout.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.config import GeometryConfig, SSDConfig
+from repro.schemes import make_scheme
+
+SCHEMES = ("baseline", "inline-dedupe", "cagc")
+
+
+def tiny_cfg() -> SSDConfig:
+    return SSDConfig(
+        geometry=GeometryConfig(channels=2, pages_per_block=4, blocks=16),
+        cold_region_ratio=0.5,
+    )
+
+
+#: op = (kind, lpn, content); kind 0=write 1=trim 2=gc
+ops_strategy = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=2),
+        st.integers(min_value=0, max_value=19),
+        st.integers(min_value=0, max_value=6),
+    ),
+    max_size=120,
+)
+
+
+def apply_ops(scheme, ops):
+    """Drive the scheme and an oracle dict with the same operations."""
+    oracle = {}
+    clock = 0.0
+    for kind, lpn, content in ops:
+        clock += 1.0
+        if kind == 0:
+            if scheme.needs_gc():
+                scheme.run_gc(clock)
+            scheme.write_page(lpn, content, clock)
+            oracle[lpn] = content
+        elif kind == 1:
+            scheme.trim_request(lpn, 1, clock)
+            oracle.pop(lpn, None)
+        else:
+            scheme.run_gc(clock)
+    return oracle
+
+
+class TestLogicalStatePreserved:
+    @given(ops=ops_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_baseline(self, ops):
+        scheme = make_scheme("baseline", tiny_cfg())
+        oracle = apply_ops(scheme, ops)
+        assert scheme.logical_content() == oracle
+        scheme.check_invariants()
+
+    @given(ops=ops_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_inline_dedupe(self, ops):
+        scheme = make_scheme("inline-dedupe", tiny_cfg())
+        oracle = apply_ops(scheme, ops)
+        assert scheme.logical_content() == oracle
+        scheme.check_invariants()
+
+    @given(ops=ops_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_cagc(self, ops):
+        scheme = make_scheme("cagc", tiny_cfg())
+        oracle = apply_ops(scheme, ops)
+        assert scheme.logical_content() == oracle
+        scheme.check_invariants()
+
+
+class TestCrossSchemeEquivalence:
+    @given(ops=ops_strategy)
+    @settings(max_examples=30, deadline=None)
+    def test_all_schemes_agree_on_logical_state(self, ops):
+        states = []
+        for name in SCHEMES:
+            scheme = make_scheme(name, tiny_cfg())
+            apply_ops(scheme, ops)
+            states.append(scheme.logical_content())
+        assert states[0] == states[1] == states[2]
+
+
+class TestPhysicalEconomy:
+    @given(ops=ops_strategy)
+    @settings(max_examples=30, deadline=None)
+    def test_inline_never_programs_more_than_baseline(self, ops):
+        base = make_scheme("baseline", tiny_cfg())
+        inline = make_scheme("inline-dedupe", tiny_cfg())
+        apply_ops(base, ops)
+        apply_ops(inline, ops)
+        assert (
+            inline.io_counters.user_pages_programmed
+            <= base.io_counters.user_pages_programmed
+        )
+
+    @given(ops=ops_strategy)
+    @settings(max_examples=30, deadline=None)
+    def test_refcount_equals_mapping_sharers(self, ops):
+        scheme = make_scheme("cagc", tiny_cfg())
+        apply_ops(scheme, ops)
+        for ppn in scheme.mapping.mapped_ppns():
+            assert scheme.mapping.refcount(ppn) >= 1
+
+    @given(ops=ops_strategy)
+    @settings(max_examples=30, deadline=None)
+    def test_cagc_index_entries_point_at_valid_pages(self, ops):
+        from repro.flash.chip import PageState
+
+        scheme = make_scheme("cagc", tiny_cfg())
+        apply_ops(scheme, ops)
+        for ppn in list(scheme.mapping.mapped_ppns()):
+            if scheme.index.contains_ppn(ppn):
+                assert scheme.flash.state_of(ppn) == PageState.VALID
+                assert scheme.index.peek(scheme.page_fp[ppn]) == ppn

@@ -1,0 +1,162 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import EventQueue, SimulationError, Simulator
+from repro.sim.events import Event, EventKind
+
+
+class TestEventQueue:
+    def test_orders_by_time(self):
+        q = EventQueue()
+        q.push(5.0)
+        q.push(1.0)
+        q.push(3.0)
+        assert [q.pop().time for _ in range(3)] == [1.0, 3.0, 5.0]
+
+    def test_equal_time_orders_by_kind(self):
+        q = EventQueue()
+        q.push(1.0, EventKind.REQUEST_ARRIVAL)
+        q.push(1.0, EventKind.OP_COMPLETE)
+        assert q.pop().kind == EventKind.OP_COMPLETE
+        assert q.pop().kind == EventKind.REQUEST_ARRIVAL
+
+    def test_equal_time_and_kind_fifo(self):
+        q = EventQueue()
+        first = q.push(1.0, EventKind.GENERIC, payload="a")
+        second = q.push(1.0, EventKind.GENERIC, payload="b")
+        assert q.pop() is first
+        assert q.pop() is second
+
+    def test_len_tracks_live_events(self):
+        q = EventQueue()
+        e = q.push(1.0)
+        q.push(2.0)
+        assert len(q) == 2
+        q.cancel(e)
+        assert len(q) == 1
+
+    def test_cancelled_events_skipped(self):
+        q = EventQueue()
+        e1 = q.push(1.0, payload="dead")
+        q.push(2.0, payload="live")
+        q.cancel(e1)
+        assert q.pop().payload == "live"
+
+    def test_double_cancel_counts_once(self):
+        q = EventQueue()
+        e = q.push(1.0)
+        q.push(2.0)
+        q.cancel(e)
+        q.cancel(e)
+        assert len(q) == 1
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            EventQueue().pop()
+
+    def test_peek_time(self):
+        q = EventQueue()
+        assert q.peek_time() is None
+        q.push(7.0)
+        q.push(3.0)
+        assert q.peek_time() == 3.0
+
+    def test_peek_skips_cancelled(self):
+        q = EventQueue()
+        e = q.push(1.0)
+        q.push(4.0)
+        q.cancel(e)
+        assert q.peek_time() == 4.0
+
+
+class TestSimulator:
+    def test_clock_advances(self):
+        sim = Simulator()
+        times = []
+        sim.schedule(10.0, callback=lambda e: times.append(sim.now))
+        sim.schedule(5.0, callback=lambda e: times.append(sim.now))
+        sim.run()
+        assert times == [5.0, 10.0]
+        assert sim.now == 10.0
+
+    def test_schedule_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator().schedule(-1.0)
+
+    def test_schedule_at_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(5.0)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(1.0)
+
+    def test_callbacks_can_schedule_more(self):
+        sim = Simulator()
+        seen = []
+
+        def chain(event):
+            seen.append(sim.now)
+            if len(seen) < 3:
+                sim.schedule(1.0, callback=chain)
+
+        sim.schedule(1.0, callback=chain)
+        sim.run()
+        assert seen == [1.0, 2.0, 3.0]
+
+    def test_run_until_stops_clock(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(100.0, callback=lambda e: fired.append(1))
+        sim.run(until=50.0)
+        assert not fired
+        assert sim.now == 50.0
+        sim.run()
+        assert fired
+
+    def test_run_until_past_last_event_advances_clock(self):
+        sim = Simulator()
+        sim.schedule(5.0)
+        sim.run(until=80.0)
+        assert sim.now == 80.0
+
+    def test_max_events(self):
+        sim = Simulator()
+        count = []
+        for _ in range(10):
+            sim.schedule(1.0, callback=lambda e: count.append(1))
+        sim.run(max_events=4)
+        assert len(count) == 4
+
+    def test_step_on_empty_returns_false(self):
+        assert Simulator().step() is False
+
+    def test_events_processed_counter(self):
+        sim = Simulator()
+        for i in range(5):
+            sim.schedule(float(i))
+        sim.run()
+        assert sim.events_processed == 5
+
+    def test_deterministic_across_runs(self):
+        def run_once():
+            sim = Simulator()
+            order = []
+            for i in range(50):
+                sim.schedule(
+                    float(i % 7),
+                    kind=EventKind(i % 4),
+                    callback=lambda e, i=i: order.append(i),
+                )
+            sim.run()
+            return order
+
+        assert run_once() == run_once()
+
+
+class TestEvent:
+    def test_cancel_marks_dead(self):
+        e = Event(time=0.0, kind=EventKind.GENERIC, seq=0)
+        assert not e.cancelled
+        e.cancel()
+        assert e.cancelled

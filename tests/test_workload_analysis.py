@@ -1,0 +1,94 @@
+"""Tests for the workload-analysis helpers."""
+
+import pytest
+
+from repro.config import small_config
+from repro.workloads.analysis import (
+    content_popularity,
+    final_content_refcounts,
+    profile_trace,
+    refcount_histogram,
+)
+from repro.workloads.fiu import build_fiu_trace
+from repro.workloads.request import IORequest, OpKind
+from repro.workloads.trace import Trace
+
+
+def simple_trace() -> Trace:
+    return Trace.from_requests(
+        [
+            IORequest(0.0, OpKind.WRITE, 0, 2, (0xA, 0xB)),   # lpn0=A lpn1=B
+            IORequest(1.0, OpKind.WRITE, 2, 1, (0xA,)),        # lpn2=A
+            IORequest(2.0, OpKind.WRITE, 0, 1, (0xC,)),        # lpn0 updated
+            IORequest(3.0, OpKind.READ, 0, 2),
+            IORequest(4.0, OpKind.TRIM, 1, 1),                 # lpn1 gone
+        ]
+    )
+
+
+class TestContentPopularity:
+    def test_descending_counts(self):
+        pop = content_popularity(simple_trace())
+        assert pop.tolist() == [2, 1, 1]  # A twice, B once, C once
+
+    def test_empty_trace(self):
+        assert content_popularity(Trace.from_requests([])).size == 0
+
+
+class TestFinalRefcounts:
+    def test_refcounts_after_updates_and_trims(self):
+        refs = final_content_refcounts(simple_trace())
+        # live state: lpn0=C, lpn2=A (lpn1 trimmed)
+        assert refs == {0xC: 1, 0xA: 1}
+
+    def test_shared_content_counted(self):
+        trace = Trace.from_requests(
+            [
+                IORequest(0.0, OpKind.WRITE, 0, 1, (0xA,)),
+                IORequest(1.0, OpKind.WRITE, 1, 1, (0xA,)),
+                IORequest(2.0, OpKind.WRITE, 2, 1, (0xA,)),
+            ]
+        )
+        assert final_content_refcounts(trace) == {0xA: 3}
+
+
+class TestProfile:
+    def test_simple_profile(self):
+        profile = profile_trace(simple_trace())
+        assert profile.working_set_pages == 3  # lpns 0,1,2
+        assert profile.written_pages == 4
+        assert profile.update_fraction == pytest.approx(0.25)
+        assert profile.unique_contents == 3
+        assert profile.mean_final_refcount == 1.0
+
+    def test_empty_profile(self):
+        profile = profile_trace(Trace.from_requests([]))
+        assert profile.working_set_pages == 0
+        assert profile.mean_overwrites == 0.0
+
+    def test_fiu_presets_show_expected_skew(self):
+        cfg = small_config(blocks=128, pages_per_block=32)
+        mail = profile_trace(build_fiu_trace("mail", cfg, n_requests=4000))
+        homes = profile_trace(build_fiu_trace("homes", cfg, n_requests=4000))
+        # mail's heavy dedup -> far fewer unique contents per written page
+        assert (
+            mail.unique_contents / mail.written_pages
+            < homes.unique_contents / homes.written_pages
+        )
+        # mail's shared pool -> higher mean refcount
+        assert mail.mean_final_refcount > homes.mean_final_refcount
+        # popular content dominates under zipf
+        assert mail.top1pct_content_share > 0.1
+
+
+class TestRefcountHistogram:
+    def test_buckets_sum_to_one(self):
+        cfg = small_config(blocks=128, pages_per_block=32)
+        trace = build_fiu_trace("mail", cfg, n_requests=3000)
+        rows = refcount_histogram(trace)
+        assert [label for label, _ in rows] == ["1", "2", "3", ">3"]
+        assert sum(f for _, f in rows) == pytest.approx(1.0)
+
+    def test_empty_trace(self):
+        rows = refcount_histogram(Trace.from_requests([]))
+        assert all(f == 0.0 for _, f in rows)

@@ -1,0 +1,121 @@
+"""Tests for the file-level workload model."""
+
+import pytest
+
+from repro.workloads.filemodel import FileModelTrace, FileStore
+from repro.workloads.request import OpKind
+
+
+class TestFileStore:
+    def test_write_allocates_extent(self):
+        store = FileStore()
+        req = store.write_file("f", ["A", "B", "C"])
+        assert req.op == OpKind.WRITE
+        assert req.npages == 3
+        assert store.files["f"] == (0, 3)
+
+    def test_extents_append_only(self):
+        store = FileStore()
+        store.write_file("a", ["A"])
+        store.write_file("b", ["B", "C"])
+        assert store.files["b"] == (1, 2)
+
+    def test_same_content_same_fingerprint(self):
+        store = FileStore()
+        r1 = store.write_file("a", ["X", "Y"])
+        r2 = store.write_file("b", ["X", "Z"])
+        assert r1.fingerprints[0] == r2.fingerprints[0]
+        assert r1.fingerprints[1] != r2.fingerprints[1]
+
+    def test_bytes_and_int_content_supported(self):
+        store = FileStore()
+        req = store.write_file("a", [b"raw", 12345])
+        assert req.fingerprints[1] == 12345
+
+    def test_unsupported_content_rejected(self):
+        with pytest.raises(TypeError):
+            FileStore().write_file("a", [3.14])
+
+    def test_empty_file_rejected(self):
+        with pytest.raises(ValueError):
+            FileStore().write_file("a", [])
+
+    def test_delete_emits_trim(self):
+        store = FileStore()
+        store.write_file("f", ["A", "B"])
+        req = store.delete_file("f")
+        assert req.op == OpKind.TRIM
+        assert (req.lpn, req.npages) == (0, 2)
+        assert "f" not in store.files
+
+    def test_delete_unknown_rejected(self):
+        with pytest.raises(KeyError):
+            FileStore().delete_file("ghost")
+
+    def test_overwrite_deletes_old_extent_first(self):
+        store = FileStore()
+        store.write_file("f", ["A"])
+        store.write_file("f", ["B", "C"])
+        assert store.files["f"] == (1, 2)
+
+    def test_read_file(self):
+        store = FileStore()
+        store.write_file("f", ["A", "B"])
+        req = store.read_file("f")
+        assert req.op == OpKind.READ
+        assert req.npages == 2
+
+    def test_times_monotone(self):
+        store = FileStore(op_gap_us=2.0)
+        r1 = store.write_file("a", ["A"])
+        r2 = store.write_file("b", ["B"])
+        assert r2.time_us == r1.time_us + 2.0
+
+    def test_logical_pages_in_use(self):
+        store = FileStore()
+        store.write_file("a", ["A", "B"])
+        store.write_file("b", ["C"])
+        store.delete_file("a")
+        assert store.logical_pages_in_use() == 1
+
+    def test_unique_contents_fig1(self):
+        """The Fig 1 example: 4 files, 7 unique content pages."""
+        store = FileStore()
+        store.write_file("file1", ["A", "B", "C", "D"])
+        store.write_file("file2", ["E", "B", "F"])
+        store.write_file("file3", ["D", "A", "B"])
+        store.write_file("file4", ["B", "G"])
+        assert store.unique_contents() == 7
+
+
+class TestFileModelTrace:
+    def test_builder_chains(self):
+        trace = (
+            FileModelTrace()
+            .write_file("a", ["A", "B"])
+            .write_file("b", ["B"])
+            .delete_file("a")
+            .build(name="demo")
+        )
+        assert trace.name == "demo"
+        ops = [int(op) for _, op, _, _, _ in trace.iter_rows()]
+        assert ops == [int(OpKind.WRITE), int(OpKind.WRITE), int(OpKind.TRIM)]
+
+    def test_trace_replayable_on_scheme(self, tiny_config):
+        from repro.schemes import make_scheme
+
+        trace = (
+            FileModelTrace()
+            .write_file("a", ["A", "B", "C"])
+            .write_file("b", ["A", "D"])
+            .delete_file("a")
+            .build()
+        )
+        scheme = make_scheme("cagc", tiny_config)
+        for _, op, lpn, npages, fps in trace.iter_rows():
+            if op == int(OpKind.WRITE):
+                scheme.write_request(lpn, fps, 0.0)
+            elif op == int(OpKind.TRIM):
+                scheme.trim_request(lpn, npages, 0.0)
+        assert scheme.live_logical_pages() == 2
+        scheme.check_invariants()

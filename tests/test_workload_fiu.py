@@ -1,0 +1,64 @@
+"""Tests for FIU presets and trace sizing."""
+
+import pytest
+
+from repro.config import small_config
+from repro.workloads.fiu import FIU_PRESETS, build_fiu_trace
+
+
+class TestPresets:
+    def test_table2_values(self):
+        assert FIU_PRESETS["mail"].write_ratio == pytest.approx(0.698)
+        assert FIU_PRESETS["mail"].dedup_ratio == pytest.approx(0.893)
+        assert FIU_PRESETS["homes"].dedup_ratio == pytest.approx(0.300)
+        assert FIU_PRESETS["web-vm"].avg_req_pages == pytest.approx(40.8 / 4.0)
+
+    def test_all_presets_validate(self):
+        for preset in FIU_PRESETS.values():
+            preset.validate()
+
+    def test_webmail_included_for_fig2(self):
+        assert "webmail" in FIU_PRESETS
+
+
+class TestBuildFiuTrace:
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(ValueError):
+            build_fiu_trace("nope", small_config())
+
+    def test_lpn_space_respects_utilization(self):
+        cfg = small_config(blocks=64, pages_per_block=16)
+        trace = build_fiu_trace("homes", cfg, n_requests=2000, lpn_utilization=0.5)
+        assert trace.max_lpn() < int(cfg.logical_pages * 0.5)
+
+    def test_fill_factor_sizes_trace(self):
+        cfg = small_config(blocks=64, pages_per_block=16)
+        t1 = build_fiu_trace("mail", cfg, n_requests=0, fill_factor=1.0)
+        t3 = build_fiu_trace("mail", cfg, n_requests=0, fill_factor=3.0)
+        assert 2.5 < len(t3) / len(t1) < 3.5
+        # total written volume ~ fill_factor * physical pages
+        assert t3.written_page_count() == pytest.approx(
+            3.0 * cfg.geometry.total_pages, rel=0.15
+        )
+
+    def test_explicit_n_requests_wins(self):
+        cfg = small_config(blocks=64, pages_per_block=16)
+        trace = build_fiu_trace("mail", cfg, n_requests=1234)
+        assert len(trace) == 1234
+
+    def test_seed_override_changes_content(self):
+        cfg = small_config(blocks=64, pages_per_block=16)
+        a = build_fiu_trace("mail", cfg, n_requests=500, seed=1)
+        b = build_fiu_trace("mail", cfg, n_requests=500, seed=2)
+        assert not (a.fps_flat[: len(b.fps_flat)] == b.fps_flat[: len(a.fps_flat)]).all()
+
+    def test_characteristics_match_table2(self):
+        cfg = small_config(blocks=128, pages_per_block=32)
+        for name, preset in FIU_PRESETS.items():
+            trace = build_fiu_trace(name, cfg, n_requests=8000)
+            stats = trace.stats()
+            assert stats.write_ratio == pytest.approx(preset.write_ratio, abs=0.03)
+            assert stats.avg_req_kb == pytest.approx(preset.avg_req_pages * 4, rel=0.15)
+            # dedup ratio approaches the target from below (pool warmup)
+            assert stats.dedup_ratio <= preset.dedup_ratio + 0.03
+            assert stats.dedup_ratio >= preset.dedup_ratio - 0.12

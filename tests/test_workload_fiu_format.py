@@ -1,0 +1,120 @@
+"""Tests for the FIU IODedup trace-format parser."""
+
+import io
+
+import pytest
+
+from repro.workloads.fiu_format import (
+    FIUFormatError,
+    dump_fiu_trace,
+    load_fiu_trace,
+    parse_fiu_line,
+)
+from repro.workloads.request import IORequest, OpKind
+from repro.workloads.trace import Trace
+
+SAMPLE = """\
+# FIU iodedup sample
+1000000 231 httpd 100 1 W 8 0 0123456789abcdef0123456789abcdef
+1000000 231 httpd 101 1 W 8 0 deadbeefdeadbeefdeadbeefdeadbeef
+2000000 231 httpd 100 1 R 8 0 0123456789abcdef0123456789abcdef
+3500000 99 mysqld 500 1 W 8 0 cafebabecafebabecafebabecafebabe
+"""
+
+
+class TestParseLine:
+    def test_parses_write(self):
+        rec = parse_fiu_line("1000 1 proc 42 1 W 8 0 " + "ab" * 16)
+        assert rec.op == OpKind.WRITE
+        assert rec.block == 42
+        assert rec.time_us == 1.0
+        assert rec.fingerprint == (int("ab" * 16, 16) & ((1 << 63) - 1))
+
+    def test_parses_read_lowercase(self):
+        rec = parse_fiu_line("1000 1 proc 42 1 r 8 0 " + "00" * 16)
+        assert rec.op == OpKind.READ
+
+    def test_blank_and_comment_lines_skipped(self):
+        assert parse_fiu_line("") is None
+        assert parse_fiu_line("# comment") is None
+
+    def test_wrong_field_count_rejected(self):
+        with pytest.raises(FIUFormatError):
+            parse_fiu_line("1000 1 proc 42 1 W 8 0")
+
+    def test_bad_op_rejected(self):
+        with pytest.raises(FIUFormatError):
+            parse_fiu_line("1000 1 proc 42 1 X 8 0 " + "00" * 16)
+
+    def test_bad_digest_rejected(self):
+        with pytest.raises(FIUFormatError):
+            parse_fiu_line("1000 1 proc 42 1 W 8 0 nothex!")
+
+    def test_bad_int_rejected(self):
+        with pytest.raises(FIUFormatError):
+            parse_fiu_line("abc 1 proc 42 1 W 8 0 " + "00" * 16)
+
+
+class TestLoadTrace:
+    def test_loads_sample(self):
+        trace = load_fiu_trace(io.StringIO(SAMPLE), name="sample")
+        assert trace.name == "sample"
+        stats = trace.stats()
+        assert stats.read_requests == 1
+        assert stats.write_requests == 2  # two 100/101 coalesce
+        assert stats.trim_requests == 0
+
+    def test_coalesces_contiguous_same_timestamp(self):
+        trace = load_fiu_trace(io.StringIO(SAMPLE))
+        first = next(trace.iter_requests())
+        assert first.npages == 2
+        assert first.lpn == 100
+
+    def test_no_coalesce_option(self):
+        trace = load_fiu_trace(io.StringIO(SAMPLE), coalesce=False)
+        assert trace.stats().write_requests == 3
+
+    def test_timestamps_rebased_to_zero(self):
+        trace = load_fiu_trace(io.StringIO(SAMPLE))
+        assert trace.times_us[0] == 0.0
+        assert trace.times_us[-1] == pytest.approx(2500.0)
+
+    def test_empty_input(self):
+        trace = load_fiu_trace(io.StringIO("# nothing\n"))
+        assert len(trace) == 0
+
+    def test_from_file(self, tmp_path):
+        path = tmp_path / "t.blk"
+        path.write_text(SAMPLE)
+        trace = load_fiu_trace(path)
+        assert trace.name == "t"
+        assert len(trace) == 3
+
+    def test_replayable(self, tmp_path):
+        from repro.config import small_config
+        from repro.device.ssd import run_trace
+        from repro.schemes import make_scheme
+
+        trace = load_fiu_trace(io.StringIO(SAMPLE))
+        result = run_trace(make_scheme("cagc", small_config(blocks=64)), trace)
+        assert result.latency.count == len(trace)
+
+
+class TestRoundTrip:
+    def test_dump_then_load(self, tmp_path):
+        requests = [
+            IORequest(0.0, OpKind.WRITE, 10, 2, (0xAA, 0xBB)),
+            IORequest(50.0, OpKind.READ, 10, 1),
+            IORequest(80.0, OpKind.TRIM, 10, 1),  # dropped: format has no TRIM
+            IORequest(100.0, OpKind.WRITE, 99, 1, (0xAA,)),
+        ]
+        trace = Trace.from_requests(requests)
+        path = tmp_path / "dump.blk"
+        dump_fiu_trace(trace, path)
+        loaded = load_fiu_trace(path)
+        stats = loaded.stats()
+        assert stats.write_requests == 2
+        assert stats.read_requests == 1
+        assert stats.trim_requests == 0
+        # content identity preserved
+        assert loaded.fps_flat.tolist() == [0xAA, 0xBB, 0xAA]

@@ -1,0 +1,141 @@
+"""Tests for the synthetic trace generator."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.workloads.request import OpKind
+from repro.workloads.synth import TraceSpec, _zipf_weights, generate_trace
+
+
+def spec(**kwargs) -> TraceSpec:
+    base = TraceSpec(n_requests=5000, lpn_space=20_000, seed=7)
+    return dataclasses.replace(base, **kwargs)
+
+
+class TestSpecValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_requests": 0},
+            {"write_ratio": 1.5},
+            {"dedup_ratio": -0.1},
+            {"avg_req_pages": 0.5},
+            {"max_req_pages": 0},
+            {"lpn_space": 10, "max_req_pages": 64},
+            {"hot_frac": 0.0},
+            {"hot_prob": 1.5},
+            {"popular_pool": 0},
+            {"mean_interarrival_us": 0.0},
+            {"write_ratio": 0.9, "trim_ratio": 0.2},
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            spec(**kwargs).validate()
+
+    def test_with_overrides_validates(self):
+        with pytest.raises(ValueError):
+            spec().with_overrides(write_ratio=2.0)
+
+    def test_with_overrides_returns_new(self):
+        s = spec().with_overrides(dedup_ratio=0.9)
+        assert s.dedup_ratio == 0.9
+
+
+class TestGeneration:
+    def test_deterministic_per_seed(self):
+        a = generate_trace(spec(seed=3))
+        b = generate_trace(spec(seed=3))
+        assert np.array_equal(a.times_us, b.times_us)
+        assert np.array_equal(a.fps_flat, b.fps_flat)
+
+    def test_different_seed_differs(self):
+        a = generate_trace(spec(seed=3))
+        b = generate_trace(spec(seed=4))
+        assert not np.array_equal(a.fps_flat, b.fps_flat)
+
+    def test_write_ratio_approximate(self):
+        trace = generate_trace(spec(write_ratio=0.7))
+        assert trace.stats().write_ratio == pytest.approx(0.7, abs=0.03)
+
+    def test_dedup_ratio_approximate(self):
+        trace = generate_trace(spec(dedup_ratio=0.6, n_requests=20_000))
+        assert trace.stats().dedup_ratio == pytest.approx(0.6, abs=0.05)
+
+    def test_avg_request_size_approximate(self):
+        trace = generate_trace(spec(avg_req_pages=4.0))
+        assert trace.stats().avg_req_kb == pytest.approx(16.0, rel=0.15)
+
+    def test_times_nondecreasing(self):
+        trace = generate_trace(spec())
+        assert (np.diff(trace.times_us) >= 0).all()
+
+    def test_extents_within_lpn_space(self):
+        trace = generate_trace(spec())
+        assert trace.max_lpn() < 20_000
+        assert (trace.lpns >= 0).all()
+
+    def test_sizes_within_bounds(self):
+        trace = generate_trace(spec(max_req_pages=8))
+        assert trace.npages.max() <= 8
+        assert trace.npages.min() >= 1
+
+    def test_trims_generated_when_requested(self):
+        trace = generate_trace(spec(write_ratio=0.5, trim_ratio=0.2))
+        stats = trace.stats()
+        assert stats.trim_requests > 0
+        assert stats.trim_requests / stats.requests == pytest.approx(0.2, abs=0.03)
+
+    def test_hot_region_receives_more_traffic(self):
+        s = spec(hot_frac=0.2, hot_prob=0.8)
+        trace = generate_trace(s)
+        hot_boundary = int(s.lpn_space * s.hot_frac)
+        hot = (trace.lpns < hot_boundary).mean()
+        assert hot > 0.6
+
+    def test_dedup_zero_all_unique(self):
+        trace = generate_trace(spec(dedup_ratio=0.0))
+        assert trace.stats().dedup_ratio == 0.0
+
+    def test_dedup_one_nearly_all_duplicate(self):
+        trace = generate_trace(spec(dedup_ratio=1.0, n_requests=10_000))
+        assert trace.stats().dedup_ratio > 0.9
+
+    def test_explicit_rng_used(self):
+        rng = np.random.default_rng(0)
+        a = generate_trace(spec(), rng=rng)
+        b = generate_trace(spec(), rng=np.random.default_rng(0))
+        assert np.array_equal(a.fps_flat, b.fps_flat)
+
+    def test_write_pages_have_fingerprints(self):
+        trace = generate_trace(spec())
+        for _, op, _, npages, fps in trace.iter_rows():
+            if op == int(OpKind.WRITE):
+                assert fps is not None and len(fps) == npages
+            else:
+                assert fps is None
+
+
+class TestZipfWeights:
+    def test_normalized(self):
+        w = _zipf_weights(100, 1.0)
+        assert w.sum() == pytest.approx(1.0)
+
+    def test_monotone_decreasing(self):
+        w = _zipf_weights(50, 1.2)
+        assert (np.diff(w) < 0).all()
+
+    def test_s_zero_uniform(self):
+        w = _zipf_weights(10, 0.0)
+        assert np.allclose(w, 0.1)
+
+    @given(pool=st.integers(1, 500), s=st.floats(0.0, 3.0))
+    @settings(max_examples=30, deadline=None)
+    def test_always_a_distribution(self, pool, s):
+        w = _zipf_weights(pool, s)
+        assert len(w) == pool
+        assert (w >= 0).all()
+        assert w.sum() == pytest.approx(1.0)

@@ -1,0 +1,159 @@
+"""Tests for trace containers and serialization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.workloads.request import IORequest, OpKind
+from repro.workloads.trace import Trace
+
+
+def make_requests():
+    return [
+        IORequest(0.0, OpKind.WRITE, lpn=10, npages=2, fingerprints=(111, 222)),
+        IORequest(5.0, OpKind.READ, lpn=10, npages=2),
+        IORequest(9.0, OpKind.TRIM, lpn=10, npages=1),
+        IORequest(12.5, OpKind.WRITE, lpn=0, npages=1, fingerprints=(111,)),
+    ]
+
+
+class TestIORequest:
+    def test_write_requires_fingerprints(self):
+        with pytest.raises(ValueError):
+            IORequest(0.0, OpKind.WRITE, lpn=0, npages=2)
+
+    def test_write_fingerprint_count_must_match(self):
+        with pytest.raises(ValueError):
+            IORequest(0.0, OpKind.WRITE, lpn=0, npages=2, fingerprints=(1,))
+
+    def test_read_rejects_fingerprints(self):
+        with pytest.raises(ValueError):
+            IORequest(0.0, OpKind.READ, lpn=0, npages=1, fingerprints=(1,))
+
+    def test_npages_positive(self):
+        with pytest.raises(ValueError):
+            IORequest(0.0, OpKind.READ, lpn=0, npages=0)
+
+    def test_lpns_range(self):
+        req = IORequest(0.0, OpKind.READ, lpn=5, npages=3)
+        assert list(req.lpns) == [5, 6, 7]
+        assert req.bytes == 3 * 4096
+
+
+class TestTraceConstruction:
+    def test_from_requests_roundtrip(self):
+        reqs = make_requests()
+        trace = Trace.from_requests(reqs, name="t")
+        assert len(trace) == 4
+        back = list(trace.iter_requests())
+        assert back == reqs
+
+    def test_iter_rows_matches_requests(self):
+        trace = Trace.from_requests(make_requests())
+        rows = list(trace.iter_rows())
+        assert rows[0][1] == int(OpKind.WRITE)
+        assert list(rows[0][4]) == [111, 222]
+        assert rows[1][4] is None
+
+    def test_mismatched_arrays_rejected(self):
+        with pytest.raises(ValueError):
+            Trace(
+                np.zeros(2),
+                np.zeros(3, dtype=np.uint8),
+                np.zeros(2, dtype=np.int64),
+                np.ones(2, dtype=np.int32),
+                np.zeros(0, dtype=np.int64),
+                np.zeros(3, dtype=np.int64),
+            )
+
+    def test_bad_offsets_rejected(self):
+        with pytest.raises(ValueError):
+            Trace(
+                np.zeros(2),
+                np.zeros(2, dtype=np.uint8),
+                np.zeros(2, dtype=np.int64),
+                np.ones(2, dtype=np.int32),
+                np.zeros(0, dtype=np.int64),
+                np.zeros(2, dtype=np.int64),  # needs n+1
+            )
+
+
+class TestTraceStats:
+    def test_stats_basic(self):
+        trace = Trace.from_requests(make_requests())
+        stats = trace.stats()
+        assert stats.requests == 4
+        assert stats.write_requests == 2
+        assert stats.read_requests == 1
+        assert stats.trim_requests == 1
+        assert stats.write_ratio == 0.5
+        assert stats.written_pages == 3
+        # fps: 111, 222, 111 -> one duplicate of three.
+        assert stats.dedup_ratio == pytest.approx(1 / 3)
+        assert stats.unique_written_pages == 2
+
+    def test_avg_req_kb(self):
+        trace = Trace.from_requests(make_requests())
+        assert trace.stats().avg_req_kb == pytest.approx((2 + 2 + 1 + 1) / 4 * 4.0)
+
+    def test_max_lpn(self):
+        trace = Trace.from_requests(make_requests())
+        assert trace.max_lpn() == 11
+
+    def test_written_page_count(self):
+        assert Trace.from_requests(make_requests()).written_page_count() == 3
+
+    def test_empty_trace(self):
+        trace = Trace.from_requests([])
+        stats = trace.stats()
+        assert stats.requests == 0
+        assert stats.dedup_ratio == 0.0
+        assert trace.max_lpn() == 0
+
+
+class TestCSV:
+    def test_roundtrip(self, tmp_path):
+        trace = Trace.from_requests(make_requests(), name="demo")
+        path = tmp_path / "demo.csv"
+        trace.save_csv(path)
+        loaded = Trace.load_csv(path)
+        assert loaded.name == "demo"
+        assert list(loaded.iter_requests()) == list(trace.iter_requests())
+
+    def test_bad_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("nope,nope\n1,2\n")
+        with pytest.raises(ValueError):
+            Trace.load_csv(path)
+
+    @given(
+        reqs=st.lists(
+            st.tuples(
+                st.integers(0, 2),
+                st.integers(0, 100),
+                st.integers(1, 5),
+                st.lists(st.integers(0, 2**62), min_size=5, max_size=5),
+            ),
+            max_size=30,
+        )
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_roundtrip_property(self, tmp_path_factory, reqs):
+        requests = []
+        t = 0.0
+        for op, lpn, npages, fps in reqs:
+            kind = OpKind(op)
+            requests.append(
+                IORequest(
+                    t,
+                    kind,
+                    lpn=lpn,
+                    npages=npages,
+                    fingerprints=tuple(fps[:npages]) if kind == OpKind.WRITE else None,
+                )
+            )
+            t += 1.5
+        trace = Trace.from_requests(requests)
+        path = tmp_path_factory.mktemp("csv") / "t.csv"
+        trace.save_csv(path)
+        assert list(Trace.load_csv(path).iter_requests()) == requests
