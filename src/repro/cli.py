@@ -4,16 +4,24 @@ Examples::
 
     cagc-repro list
     cagc-repro run fig9
-    cagc-repro run all --scale full
+    cagc-repro run all --scale full --jobs 4
+    cagc-repro sweep --schemes baseline cagc --seeds 0 1 2 --jobs 4
     cagc-repro trace-gen --preset mail --requests 20000 --out mail.csv
     cagc-repro trace-info mail.csv
     cagc-repro simulate --scheme cagc --preset mail --blocks 256
     cagc-repro simulate --scheme baseline --trace mail.csv --policy cost-benefit
+
+Experiment runs are cached persistently (``results/cache`` or
+``$CAGC_CACHE_DIR``), so repeated invocations are nearly instant;
+``--no-cache`` forces fresh simulations and ``--jobs N`` fans
+cache-misses out over N worker processes.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 import time
 from pathlib import Path
@@ -22,13 +30,35 @@ from typing import List, Optional
 from repro.config import GeometryConfig, SSDConfig
 from repro.device.ssd import run_trace
 from repro.experiments import EXPERIMENTS, run_experiment
+from repro.experiments.common import SCALES, reset_result_caches
+from repro.experiments.registry import warm_experiments
 from repro.ftl.gc import POLICIES, make_policy
 from repro.metrics.report import format_table
+from repro.runner import RunCache, cache_enabled, run_specs, sweep_specs
+from repro.runner.cache import ENV_NO_CACHE
 from repro.schemes import make_scheme
 from repro.workloads.analysis import profile_trace, refcount_histogram
 from repro.workloads.fiu import FIU_PRESETS, build_fiu_trace
 from repro.workloads.fiu_format import dump_fiu_trace, load_fiu_trace
 from repro.workloads.trace import Trace
+
+SCHEME_NAMES = ("baseline", "inline-dedupe", "cagc", "lba-hotcold")
+
+
+def _add_parallel_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for cache-miss simulations "
+        "(0 = one per CPU; default: 1, serial)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="ignore and do not write the persistent result cache",
+    )
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -40,7 +70,11 @@ def _build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("list", help="list experiment ids")
 
-    run_p = sub.add_parser("run", help="run one experiment (or 'all')")
+    run_p = sub.add_parser(
+        "run",
+        help="run one experiment (or 'all'); --jobs N parallelizes the "
+        "underlying simulations",
+    )
     run_p.add_argument("experiment", help="experiment id (see 'list') or 'all'")
     run_p.add_argument(
         "--scale",
@@ -48,6 +82,51 @@ def _build_parser() -> argparse.ArgumentParser:
         choices=("quick", "bench", "full"),
         help="device/trace sizing (default: bench)",
     )
+    _add_parallel_args(run_p)
+
+    sweep_p = sub.add_parser(
+        "sweep",
+        help="fan a (workload x scheme x policy x seed) grid out over "
+        "worker processes and tabulate every run",
+    )
+    sweep_p.add_argument(
+        "--workloads",
+        nargs="+",
+        default=["homes", "web-vm", "mail"],
+        choices=sorted(FIU_PRESETS),
+        help="FIU presets to sweep (default: the Table II trio)",
+    )
+    sweep_p.add_argument(
+        "--schemes",
+        nargs="+",
+        default=["baseline", "cagc"],
+        choices=SCHEME_NAMES,
+        help="FTL schemes to sweep (default: baseline cagc)",
+    )
+    sweep_p.add_argument(
+        "--policies",
+        nargs="+",
+        default=["greedy"],
+        choices=sorted(POLICIES),
+        help="victim policies to sweep (default: greedy)",
+    )
+    sweep_p.add_argument(
+        "--seeds",
+        nargs="+",
+        type=int,
+        default=[0],
+        help="trace seeds to sweep (default: 0)",
+    )
+    sweep_p.add_argument(
+        "--scale",
+        default="bench",
+        choices=sorted(SCALES),
+        help="device/trace sizing (default: bench)",
+    )
+    sweep_p.add_argument(
+        "--out", default=None, metavar="FILE", help="also write results as JSON"
+    )
+    _add_parallel_args(sweep_p)
 
     gen_p = sub.add_parser("trace-gen", help="generate a synthetic FIU-like trace")
     gen_p.add_argument("--preset", default="mail", choices=sorted(FIU_PRESETS))
@@ -111,8 +190,30 @@ def _load_trace(path: str, fmt: Optional[str]) -> Trace:
     return load_fiu_trace(path)
 
 
+def _disable_cache() -> None:
+    """Honour ``--no-cache`` for this process (and any workers)."""
+    os.environ[ENV_NO_CACHE] = "1"
+    reset_result_caches()
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
+    if args.no_cache:
+        _disable_cache()
     ids = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    unknown = [i for i in ids if i not in EXPERIMENTS]
+    if unknown:
+        print(
+            f"error: unknown experiment {unknown[0]!r}; choose from {sorted(EXPERIMENTS)}",
+            file=sys.stderr,
+        )
+        return 2
+    # Prewarm the shared result cache: every (workload, scheme, policy,
+    # seed) replay behind the selected experiments runs once, fanned out
+    # over the worker pool; the report builders below then only read.
+    start = time.time()
+    warmed = warm_experiments(ids, scale=args.scale, jobs=args.jobs)
+    if warmed and args.jobs != 1:
+        print(f"(warmed {warmed} runs in {time.time() - start:.1f}s)\n")
     for experiment_id in ids:
         start = time.time()
         try:
@@ -122,6 +223,65 @@ def _cmd_run(args: argparse.Namespace) -> int:
             return 2
         print(report)
         print(f"({time.time() - start:.1f}s)\n")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    if args.no_cache:
+        _disable_cache()
+    specs = sweep_specs(
+        tuple(args.workloads),
+        tuple(args.schemes),
+        policies=tuple(args.policies),
+        seeds=tuple(args.seeds),
+        scale=args.scale,
+    )
+    cache = RunCache.from_env() if cache_enabled() else None
+    start = time.time()
+    results = run_specs(specs, jobs=args.jobs, cache=cache)
+    wall = time.time() - start
+    rows = []
+    records = []
+    for spec, result in zip(specs, results):
+        rows.append(
+            (
+                spec.workload,
+                spec.scheme,
+                spec.policy,
+                spec.seed,
+                result.blocks_erased,
+                result.pages_migrated,
+                f"{result.latency.mean_us:.0f}us",
+                f"{result.latency.p99_us:.0f}us",
+                f"{result.write_amplification():.2f}",
+            )
+        )
+        records.append(
+            {
+                "workload": spec.workload,
+                "scheme": spec.scheme,
+                "policy": spec.policy,
+                "seed": spec.seed,
+                "scale": spec.scale,
+                "blocks_erased": result.blocks_erased,
+                "pages_migrated": result.pages_migrated,
+                "mean_response_us": result.latency.mean_us,
+                "p99_response_us": result.latency.p99_us,
+                "write_amplification": result.write_amplification(),
+            }
+        )
+    print(
+        format_table(
+            ("Workload", "Scheme", "Policy", "Seed", "Erases", "Migrated", "Mean", "p99", "WAF"),
+            rows,
+            title=f"sweep: {len(specs)} runs @ {args.scale}",
+        )
+    )
+    hits = cache.hits if cache is not None else 0
+    print(f"({wall:.1f}s, {hits}/{len(specs)} from cache, jobs={args.jobs})")
+    if args.out:
+        Path(args.out).write_text(json.dumps(records, indent=2) + "\n")
+        print(f"wrote {args.out}")
     return 0
 
 
@@ -272,6 +432,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
     if args.command == "run":
         return _cmd_run(args)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
     if args.command == "trace-gen":
         return _cmd_trace_gen(args)
     if args.command == "trace-info":

@@ -59,3 +59,15 @@ class PlacementPolicy:
             and self.is_cold(refcount)
             and allocator.region_blocks[Region.COLD] < self._max_cold_blocks
         )
+
+
+class NeverColdPlacement(PlacementPolicy):
+    """Placement ablation: classify nothing as cold.
+
+    Running CAGC with this policy isolates the GC-time dedup win from
+    the refcount-placement win (ablation A2): duplicates still remap
+    instead of copying, but every page stays in the hot region.
+    """
+
+    def is_cold(self, refcount: int) -> bool:
+        return False

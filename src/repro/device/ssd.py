@@ -86,6 +86,13 @@ class SSD:
         self._busy = False
         self._rows = None  # type: Optional[object]
         self._preemptive = scheme.config.gc_mode == "preemptive"
+        # Hot-path constants: _service runs once per request, so resolve
+        # the attribute chains and opcode enums once here.
+        self._timing = scheme.timing
+        self._channels = scheme.flash.geometry.channels
+        self._op_write = int(OpKind.WRITE)
+        self._op_read = int(OpKind.READ)
+        self._op_trim = int(OpKind.TRIM)
         #: idle-time GC chunks completed (preemptive mode telemetry).
         self.background_gc_chunks = 0
         self.buffer: Optional[WriteBuffer] = None
@@ -184,10 +191,9 @@ class SSD:
         """Apply the request to the FTL and return its service time."""
         _, op, lpn, npages, fps = row
         scheme = self.scheme
-        timing = scheme.timing
-        channels = scheme.flash.geometry.channels
+        timing = self._timing
         now = self.sim.now
-        if op == int(OpKind.WRITE):
+        if op == self._op_write:
             if self.buffer is not None:
                 return self._service_buffered_write(lpn, npages, fps, now)
             # GC watermark check happens on the write path: writes are
@@ -197,19 +203,19 @@ class SSD:
             # restore the free-block reserve does.
             gc_us = self._gc_before_write(now)
             outcome = scheme.write_request(lpn, fps, now + gc_us)
-            service = timing.write_request_us(outcome.programs, channels)
+            service = timing.write_request_us(outcome.programs, self._channels)
             if outcome.hashed_pages:
                 # Inline dedup: hash + lookup serial on the critical path.
                 service += timing.inline_dedup_us(outcome.hashed_pages)
             if outcome.programs == 0:
                 service += timing.lookup_us  # metadata-only update
             return gc_us + service
-        if op == int(OpKind.READ):
+        if op == self._op_read:
             if self.buffer is not None:
                 return self._service_buffered_read(lpn, npages)
             scheme.read_request(lpn, npages)
-            return timing.read_request_us(npages, channels)
-        if op == int(OpKind.TRIM):
+            return timing.read_request_us(npages, self._channels)
+        if op == self._op_trim:
             if self.buffer is not None:
                 for offset in range(npages):
                     self.buffer.trim(lpn + offset)
@@ -240,8 +246,7 @@ class SSD:
         self, lpn: int, npages: int, fps, now: float
     ) -> float:
         """Absorb a write into the DRAM buffer, destaging on overflow."""
-        scheme = self.scheme
-        timing = scheme.timing
+        timing = self._timing
         buffer = self.buffer
         assert buffer is not None
         evicted = []
@@ -251,7 +256,7 @@ class SSD:
         if not evicted:
             return service
         gc_us, programs, hashed = self._destage_with_gc(evicted, now)
-        service += timing.write_request_us(programs, scheme.flash.geometry.channels)
+        service += timing.write_request_us(programs, self._channels)
         if hashed:
             service += timing.inline_dedup_us(hashed)
         return gc_us + service
@@ -273,18 +278,30 @@ class SSD:
         return gc_us, programs, hashed
 
     def _service_buffered_read(self, lpn: int, npages: int) -> float:
-        """Serve buffered pages from DRAM, the rest from flash."""
+        """Serve buffered pages from DRAM, the rest from flash.
+
+        The per-request firmware overhead is charged exactly once:
+        a pure miss costs precisely ``read_request_us`` (as if no
+        buffer existed), a pure hit costs overhead + DRAM slots, and a
+        mixed request costs the flash read for the misses plus a DRAM
+        slot per hit.
+        """
         scheme = self.scheme
-        timing = scheme.timing
+        timing = self._timing
         buffer = self.buffer
         assert buffer is not None
         hits = sum(1 for offset in range(npages) if buffer.read(lpn + offset) is not None)
         misses = npages - hits
         scheme.read_request(lpn, npages)
+        if hits == 0:
+            return timing.read_request_us(npages, self._channels)
         service = timing.overhead_us + hits * buffer.dram_us
         if misses:
-            slots_us = timing.read_request_us(misses, scheme.flash.geometry.channels)
-            service += slots_us - timing.overhead_us  # overhead charged once
+            # Flash slots for the misses; their request overhead is
+            # already covered by the single charge above.
+            service += (
+                timing.read_request_us(misses, self._channels) - timing.overhead_us
+            )
         return service
 
     def _foreground_preemptive_gc(self, now: float) -> float:

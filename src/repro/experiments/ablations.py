@@ -7,38 +7,64 @@
   inline dedup stops hurting a ULL device (the paper's motivation says
   never, for realistic SHA latencies).
 * **A4 OP space** — over-provisioning sensitivity of the CAGC win.
+
+Every ablation decomposes into :class:`~repro.runner.RunSpec` work
+units (``*_specs`` functions, also consumed by the experiment registry
+for ``--jobs`` prewarming), so results land in the shared persistent
+cache; sweep points that coincide with the config defaults reuse the
+plain specs behind Figs 9-13.
 """
 
 from __future__ import annotations
 
-from dataclasses import replace
+from typing import List
 
-from repro.config import TimingConfig
-from repro.core.cagc import CAGCScheme
-from repro.core.placement import PlacementPolicy
-from repro.device.ssd import run_trace
 from repro.experiments.common import (
     ExperimentReport,
-    get_scale,
     reduction_vs_baseline,
+    result_for,
 )
-from repro.schemes import make_scheme
+from repro.runner import RunSpec, freeze_overrides
 
 #: Ablations run on the workload where each knob matters most.
 ABLATION_WORKLOAD = "mail"
 
+#: A1 sweep points (2 is the config default: any shared page is cold).
+THRESHOLDS = (2, 3, 4, 8)
+#: A3 sweep points (14 us is the paper's firmware SHA).
+HASH_LATENCIES_US = (0.0, 2.0, 7.0, 14.0, 28.0)
+#: A4 sweep points (0.07 is the config default).
+OP_RATIOS = (0.07, 0.15, 0.25)
+#: A7 sweep points (0 = no buffer, the default).
+BUFFER_PAGES = (0, 256, 1024, 4096)
+#: A9 sweep points (the scales default to 4 channels).
+CHANNEL_COUNTS = (1, 2, 4, 8)
+
+#: A3/fig2's GC-quiet regime: short trace, small LPN footprint.
+_GC_QUIET = freeze_overrides(fill_factor=0.5, lpn_utilization=0.5)
+
+
+def _threshold_spec(threshold: int, scale: str) -> RunSpec:
+    overrides = freeze_overrides(cold_threshold=threshold) if threshold != 2 else ()
+    return RunSpec(
+        workload=ABLATION_WORKLOAD, scheme="cagc", scale=scale,
+        config_overrides=overrides,
+    )
+
+
+def threshold_specs(scale: str) -> List[RunSpec]:
+    return [RunSpec(workload=ABLATION_WORKLOAD, scheme="baseline", scale=scale)] + [
+        _threshold_spec(t, scale) for t in THRESHOLDS
+    ]
+
 
 def run_threshold(scale: str = "bench") -> ExperimentReport:
     """A1: cold threshold sweep (refcount >= t goes cold)."""
-    sc = get_scale(scale)
-    config = sc.config()
-    trace = sc.trace(ABLATION_WORKLOAD, config)
-    base = run_trace(make_scheme("baseline", config), trace)
+    base = result_for(RunSpec(workload=ABLATION_WORKLOAD, scheme="baseline", scale=scale))
     rows = []
     data = {}
-    for threshold in (2, 3, 4, 8):
-        cfg_t = replace(config, cold_threshold=threshold)
-        result = run_trace(make_scheme("cagc", cfg_t), trace)
+    for threshold in THRESHOLDS:
+        result = result_for(_threshold_spec(threshold, scale))
         r_erased = reduction_vs_baseline(base.blocks_erased, result.blocks_erased)
         r_migr = reduction_vs_baseline(base.pages_migrated, result.pages_migrated)
         rows.append((threshold, result.blocks_erased, f"{r_erased:.1f}%", f"{r_migr:.1f}%"))
@@ -57,25 +83,31 @@ def run_threshold(scale: str = "bench") -> ExperimentReport:
     )
 
 
-class _NoColdPlacement(PlacementPolicy):
-    """Placement ablation: everything stays in the hot region."""
+_NO_PLACEMENT = freeze_overrides(placement="never-cold")
 
-    def is_cold(self, refcount: int) -> bool:  # noqa: D102 - ablation stub
-        return False
+
+def placement_specs(scale: str) -> List[RunSpec]:
+    specs = []
+    for workload in ("homes", "mail"):
+        specs.append(RunSpec(workload=workload, scheme="baseline", scale=scale))
+        specs.append(RunSpec(workload=workload, scheme="cagc", scale=scale))
+        specs.append(
+            RunSpec(workload=workload, scheme="cagc", scale=scale,
+                    scheme_options=_NO_PLACEMENT)
+        )
+    return specs
 
 
 def run_placement(scale: str = "bench") -> ExperimentReport:
     """A2: full CAGC vs dedup-only CAGC (no hot/cold separation)."""
-    sc = get_scale(scale)
-    config = sc.config()
     rows = []
     data = {}
     for workload in ("homes", "mail"):
-        trace = sc.trace(workload, config)
-        base = run_trace(make_scheme("baseline", config), trace)
-        full = run_trace(CAGCScheme(config), trace)
-        dedup_only = run_trace(
-            CAGCScheme(config, placement=_NoColdPlacement(config)), trace
+        base = result_for(RunSpec(workload=workload, scheme="baseline", scale=scale))
+        full = result_for(RunSpec(workload=workload, scheme="cagc", scale=scale))
+        dedup_only = result_for(
+            RunSpec(workload=workload, scheme="cagc", scale=scale,
+                    scheme_options=_NO_PLACEMENT)
         )
         r_full = reduction_vs_baseline(base.pages_migrated, full.pages_migrated)
         r_dedup = reduction_vs_baseline(base.pages_migrated, dedup_only.pages_migrated)
@@ -104,17 +136,29 @@ def run_placement(scale: str = "bench") -> ExperimentReport:
     )
 
 
+def _hash_latency_spec(scheme: str, hash_us: float, scale: str) -> RunSpec:
+    return RunSpec(
+        workload="homes", scheme=scheme, scale=scale,
+        config_overrides=freeze_overrides({"timing.hash_us": hash_us}),
+        trace_overrides=_GC_QUIET,
+    )
+
+
+def hash_latency_specs(scale: str) -> List[RunSpec]:
+    return [
+        _hash_latency_spec(scheme, hash_us, scale)
+        for hash_us in HASH_LATENCIES_US
+        for scheme in ("baseline", "inline-dedupe")
+    ]
+
+
 def run_hash_latency(scale: str = "bench") -> ExperimentReport:
     """A3: where does inline dedup stop hurting? (GC-quiet regime)"""
-    sc = get_scale(scale)
     rows = []
     data = {}
-    for hash_us in (0.0, 2.0, 7.0, 14.0, 28.0):
-        timing = TimingConfig(hash_us=hash_us)
-        config = sc.config(timing=timing)
-        trace = sc.trace("homes", config, fill_factor=0.5, lpn_utilization=0.5)
-        base = run_trace(make_scheme("baseline", config), trace)
-        inline = run_trace(make_scheme("inline-dedupe", config), trace)
+    for hash_us in HASH_LATENCIES_US:
+        base = result_for(_hash_latency_spec("baseline", hash_us, scale))
+        inline = result_for(_hash_latency_spec("inline-dedupe", hash_us, scale))
         normalized = (
             inline.latency.mean_us / base.latency.mean_us
             if base.latency.mean_us
@@ -135,6 +179,18 @@ def run_hash_latency(scale: str = "bench") -> ExperimentReport:
     )
 
 
+def _channels_spec(channels: int, scale: str) -> RunSpec:
+    return RunSpec(
+        workload="homes", scheme="cagc", scale=scale,
+        config_overrides=freeze_overrides({"geometry.channels": channels}),
+        device="parallel",
+    )
+
+
+def channels_specs(scale: str) -> List[RunSpec]:
+    return [_channels_spec(c, scale) for c in CHANNEL_COUNTS]
+
+
 def run_channels(scale: str = "bench") -> ExperimentReport:
     """A9: channel-level parallelism (related work: parallel GC, SC'16).
 
@@ -142,20 +198,10 @@ def run_channels(scale: str = "bench") -> ExperimentReport:
     channels: queueing delay falls with channel count and GC bursts
     stall only their own channel.
     """
-    from repro.device.parallel import ParallelSSD
-
-    sc = get_scale(scale)
     rows = []
     data = {}
-    for channels in (1, 2, 4, 8):
-        config = sc.config()
-        config = replace(
-            config, geometry=replace(config.geometry, channels=channels)
-        )
-        config.validate()
-        trace = sc.trace("homes", config)
-        scheme = make_scheme("cagc", config)
-        result = ParallelSSD(scheme).replay(trace)
+    for channels in CHANNEL_COUNTS:
+        result = result_for(_channels_spec(channels, scale))
         rows.append(
             (
                 channels,
@@ -179,25 +225,36 @@ def run_channels(scale: str = "bench") -> ExperimentReport:
     )
 
 
+_HOT_FIRST = freeze_overrides(prefer_hot_victims=True)
+
+
+def hot_victims_specs(scale: str) -> List[RunSpec]:
+    specs = []
+    for policy_name in ("greedy", "cost-benefit"):
+        specs.append(
+            RunSpec(workload=ABLATION_WORKLOAD, scheme="cagc", policy=policy_name,
+                    scale=scale)
+        )
+        specs.append(
+            RunSpec(workload=ABLATION_WORKLOAD, scheme="cagc", policy=policy_name,
+                    scale=scale, scheme_options=_HOT_FIRST)
+        )
+    return specs
+
+
 def run_hot_victims(scale: str = "bench") -> ExperimentReport:
     """A8: hot-first victim preference (section III-C's 'desirable
     candidates') on top of each base victim policy."""
-    from repro.ftl.gc import make_policy
-
-    sc = get_scale(scale)
-    config = sc.config()
-    trace = sc.trace("mail", config)
     rows = []
     data = {}
     for policy_name in ("greedy", "cost-benefit"):
-        plain = run_trace(
-            CAGCScheme(config, policy=make_policy(policy_name)), trace
+        plain = result_for(
+            RunSpec(workload=ABLATION_WORKLOAD, scheme="cagc", policy=policy_name,
+                    scale=scale)
         )
-        hot_first = run_trace(
-            CAGCScheme(
-                config, policy=make_policy(policy_name), prefer_hot_victims=True
-            ),
-            trace,
+        hot_first = result_for(
+            RunSpec(workload=ABLATION_WORKLOAD, scheme="cagc", policy=policy_name,
+                    scale=scale, scheme_options=_HOT_FIRST)
         )
         rows.append(
             (
@@ -229,20 +286,29 @@ def run_hot_victims(scale: str = "bench") -> ExperimentReport:
     )
 
 
+def _write_buffer_spec(buffer_pages: int, scale: str) -> RunSpec:
+    overrides = (
+        freeze_overrides(write_buffer_pages=buffer_pages) if buffer_pages else ()
+    )
+    return RunSpec(
+        workload="homes", scheme="cagc", scale=scale, config_overrides=overrides
+    )
+
+
+def write_buffer_specs(scale: str) -> List[RunSpec]:
+    return [_write_buffer_spec(pages, scale) for pages in BUFFER_PAGES]
+
+
 def run_write_buffer(scale: str = "bench") -> ExperimentReport:
     """A7: DRAM write buffer in front of CAGC (related work [32, 36]).
 
     Buffering and GC-time dedup attack the same quantity — flash write
     traffic — from different ends; this sweep shows how they compose.
     """
-    sc = get_scale(scale)
     rows = []
     data = {}
-    base_config = sc.config()
-    trace = sc.trace("homes", base_config)
-    for buffer_pages in (0, 256, 1024, 4096):
-        config = replace(base_config, write_buffer_pages=buffer_pages)
-        result = run_trace(make_scheme("cagc", config), trace)
+    for buffer_pages in BUFFER_PAGES:
+        result = result_for(_write_buffer_spec(buffer_pages, scale))
         absorbed = (
             f"{result.buffer.absorption_ratio:.1%}" if result.buffer else "-"
         )
@@ -271,6 +337,14 @@ def run_write_buffer(scale: str = "bench") -> ExperimentReport:
     )
 
 
+def separation_specs(scale: str) -> List[RunSpec]:
+    return [
+        RunSpec(workload=workload, scheme=scheme, scale=scale)
+        for workload in ("homes", "mail")
+        for scheme in ("baseline", "lba-hotcold", "cagc")
+    ]
+
+
 def run_separation(scale: str = "bench") -> ExperimentReport:
     """A6: spatial (LBA) vs content (refcount) hot/cold separation.
 
@@ -279,15 +353,12 @@ def run_separation(scale: str = "bench") -> ExperimentReport:
     ablation pits the two signals against each other (both relative to
     the plain Baseline).
     """
-    sc = get_scale(scale)
-    config = sc.config()
     rows = []
     data = {}
     for workload in ("homes", "mail"):
-        trace = sc.trace(workload, config)
-        base = run_trace(make_scheme("baseline", config), trace)
-        lba = run_trace(make_scheme("lba-hotcold", config), trace)
-        cagc = run_trace(make_scheme("cagc", config), trace)
+        base = result_for(RunSpec(workload=workload, scheme="baseline", scale=scale))
+        lba = result_for(RunSpec(workload=workload, scheme="lba-hotcold", scale=scale))
+        cagc = result_for(RunSpec(workload=workload, scheme="cagc", scale=scale))
         r_lba = reduction_vs_baseline(base.pages_migrated, lba.pages_migrated)
         r_cagc = reduction_vs_baseline(base.pages_migrated, cagc.pages_migrated)
         e_lba = reduction_vs_baseline(base.blocks_erased, lba.blocks_erased)
@@ -314,6 +385,21 @@ def run_separation(scale: str = "bench") -> ExperimentReport:
     )
 
 
+def _gc_mode_spec(workload: str, mode: str, scale: str) -> RunSpec:
+    overrides = freeze_overrides(gc_mode=mode) if mode != "blocking" else ()
+    return RunSpec(
+        workload=workload, scheme="cagc", scale=scale, config_overrides=overrides
+    )
+
+
+def gc_mode_specs(scale: str) -> List[RunSpec]:
+    return [
+        _gc_mode_spec(workload, mode, scale)
+        for workload in ("homes", "mail")
+        for mode in ("blocking", "preemptive")
+    ]
+
+
 def run_gc_mode(scale: str = "bench") -> ExperimentReport:
     """A5: blocking vs semi-preemptive GC (related work, Lee ISPASS'11).
 
@@ -321,18 +407,11 @@ def run_gc_mode(scale: str = "bench") -> ExperimentReport:
     while the foreground tail shrinks because requests wait at most one
     block-collection instead of a whole burst.
     """
-    sc = get_scale(scale)
     rows = []
     data = {}
     for workload in ("homes", "mail"):
-        per_mode = {}
-        for mode in ("blocking", "preemptive"):
-            config = sc.config(gc_mode=mode)
-            trace = sc.trace(workload, config)
-            result = run_trace(make_scheme("cagc", config), trace)
-            per_mode[mode] = result
-        blocking = per_mode["blocking"]
-        preemptive = per_mode["preemptive"]
+        blocking = result_for(_gc_mode_spec(workload, "blocking", scale))
+        preemptive = result_for(_gc_mode_spec(workload, "preemptive", scale))
         p99_cut = reduction_vs_baseline(
             blocking.latency.p99_us, preemptive.latency.p99_us
         )
@@ -370,16 +449,29 @@ def run_gc_mode(scale: str = "bench") -> ExperimentReport:
     )
 
 
+def _op_space_spec(scheme: str, op_ratio: float, scale: str) -> RunSpec:
+    overrides = freeze_overrides(op_ratio=op_ratio) if op_ratio != 0.07 else ()
+    return RunSpec(
+        workload=ABLATION_WORKLOAD, scheme=scheme, scale=scale,
+        config_overrides=overrides,
+    )
+
+
+def op_space_specs(scale: str) -> List[RunSpec]:
+    return [
+        _op_space_spec(scheme, op_ratio, scale)
+        for op_ratio in OP_RATIOS
+        for scheme in ("baseline", "cagc")
+    ]
+
+
 def run_op_space(scale: str = "bench") -> ExperimentReport:
     """A4: over-provisioning sensitivity of CAGC's erase reduction."""
-    sc = get_scale(scale)
     rows = []
     data = {}
-    for op_ratio in (0.07, 0.15, 0.25):
-        config = sc.config(op_ratio=op_ratio)
-        trace = sc.trace(ABLATION_WORKLOAD, config)
-        base = run_trace(make_scheme("baseline", config), trace)
-        cagc = run_trace(make_scheme("cagc", config), trace)
+    for op_ratio in OP_RATIOS:
+        base = result_for(_op_space_spec("baseline", op_ratio, scale))
+        cagc = result_for(_op_space_spec("cagc", op_ratio, scale))
         r_erased = reduction_vs_baseline(base.blocks_erased, cagc.blocks_erased)
         rows.append(
             (f"{op_ratio:.0%}", base.blocks_erased, cagc.blocks_erased, f"{r_erased:.1f}%")

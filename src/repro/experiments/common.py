@@ -13,14 +13,12 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from functools import lru_cache
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.config import GeometryConfig, SSDConfig
-from repro.device.ssd import RunResult, run_trace
-from repro.ftl.gc import make_policy
+from repro.device.ssd import RunResult
 from repro.metrics.report import format_table
-from repro.schemes import make_scheme
+from repro.runner import RunCache, RunSpec, run_specs
 from repro.workloads.fiu import build_fiu_trace
 
 #: Workloads of Table II, in the order the paper's figures use.
@@ -83,7 +81,55 @@ def get_scale(scale: str) -> ExperimentScale:
         raise ValueError(f"unknown scale {scale!r}; choose from {sorted(SCALES)}") from None
 
 
-@lru_cache(maxsize=128)
+#: In-process memo: spec -> RunResult.  Sits in front of the persistent
+#: :class:`RunCache`, preserving the old ``lru_cache`` identity semantics
+#: (repeated calls return the *same* object) while the persistent layer
+#: makes results survive across processes.
+_MEMO: Dict[RunSpec, RunResult] = {}
+_CACHE: Optional[RunCache] = None
+_CACHE_RESOLVED = False
+
+
+def _persistent_cache() -> Optional[RunCache]:
+    """The process-wide persistent cache (``None`` when disabled)."""
+    global _CACHE, _CACHE_RESOLVED
+    if not _CACHE_RESOLVED:
+        _CACHE = RunCache.from_env()
+        _CACHE_RESOLVED = True
+    return _CACHE
+
+
+def reset_result_caches() -> None:
+    """Drop the in-process memo and re-resolve the persistent cache.
+
+    Test hook: lets a test point ``CAGC_CACHE_DIR`` somewhere fresh (or
+    set ``CAGC_NO_CACHE``) after this module was imported.
+    """
+    global _CACHE_RESOLVED
+    _MEMO.clear()
+    _CACHE_RESOLVED = False
+
+
+def result_for(spec: RunSpec) -> RunResult:
+    """Result for one spec: memo -> persistent cache -> fresh replay."""
+    result = _MEMO.get(spec)
+    if result is None:
+        result = run_specs([spec], jobs=1, cache=_persistent_cache())[0]
+        _MEMO[spec] = result
+    return result
+
+
+def prefetch_results(specs: Sequence[RunSpec], jobs: Optional[int] = None) -> None:
+    """Warm the memo + persistent cache for ``specs``, fanning cache
+    misses out over ``jobs`` worker processes (the ``--jobs`` path of
+    ``cagc-repro run``/``sweep``)."""
+    pending = [spec for spec in specs if spec not in _MEMO]
+    if not pending:
+        return
+    for spec, result in zip(pending, run_specs(pending, jobs=jobs, cache=_persistent_cache())):
+        _MEMO[spec] = result
+
+
 def gc_efficiency_result(
     workload: str,
     scheme: str,
@@ -91,20 +137,19 @@ def gc_efficiency_result(
     policy: str = "greedy",
     seed: int = 0,
 ) -> RunResult:
-    """Replay ``workload`` under ``scheme`` at ``scale`` (memoized).
+    """Replay ``workload`` under ``scheme`` at ``scale`` (cached).
 
     The cache means Fig 9 (blocks erased), Fig 10 (pages migrated),
     Fig 11 (response time) and Fig 12 (CDF) all share the same nine
     underlying simulations, exactly like the paper reports one run from
-    multiple angles.
+    multiple angles.  Results are additionally persisted across
+    processes via :class:`repro.runner.RunCache` (seed=0 replays the
+    preset's canonical trace; other seeds draw an independent trace with
+    the same characteristics — stability runs).
     """
-    sc = get_scale(scale)
-    config = sc.config()
-    # seed=0 replays the preset's canonical trace; other seeds draw an
-    # independent trace with the same characteristics (stability runs).
-    trace = sc.trace(workload, config, seed=(10_000 + seed) if seed else None)
-    ftl = make_scheme(scheme, config, policy=make_policy(policy, seed=seed))
-    return run_trace(ftl, trace)
+    return result_for(
+        RunSpec(workload=workload, scheme=scheme, policy=policy, seed=seed, scale=scale)
+    )
 
 
 def reduction_stability(

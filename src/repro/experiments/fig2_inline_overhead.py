@@ -8,14 +8,17 @@ serially before the (very fast) flash program.
 
 We reproduce it by replaying short traces on a mostly-empty device so
 GC never triggers: the measured overhead is then purely the
-deduplication critical-path cost.
+deduplication critical-path cost.  The GC-quiet regime is expressed as
+``trace_overrides`` on the shared :class:`~repro.runner.RunSpec`, so
+the runs participate in the persistent cache and ``--jobs`` prewarm.
 """
 
 from __future__ import annotations
 
-from repro.device.ssd import run_trace
-from repro.experiments.common import ExperimentReport, get_scale
-from repro.schemes import make_scheme
+from typing import List
+
+from repro.experiments.common import ExperimentReport, result_for
+from repro.runner import RunSpec, freeze_overrides
 
 #: Fig 2 uses Homes, Webmail and Mail.
 FIG2_WORKLOADS = ("homes", "webmail", "mail")
@@ -24,21 +27,31 @@ FIG2_WORKLOADS = ("homes", "webmail", "mail")
 #: Fig 2 bars (Baseline = 1.0).
 PAPER_NORMALIZED = {"homes": 1.7, "webmail": 1.5, "mail": 1.3}
 
+#: Light-utilization regime: short trace (half-fill), small LPN
+#: footprint -> the device never reaches the GC watermark.
+_GC_QUIET = freeze_overrides(fill_factor=0.5, lpn_utilization=0.5)
+
+
+def fig2_specs(scale: str) -> List[RunSpec]:
+    return [
+        RunSpec(workload=workload, scheme=scheme, scale=scale,
+                trace_overrides=_GC_QUIET)
+        for workload in FIG2_WORKLOADS
+        for scheme in ("baseline", "inline-dedupe")
+    ]
+
 
 def run(scale: str = "bench") -> ExperimentReport:
-    sc = get_scale(scale)
-    config = sc.config()
     rows = []
     data = {}
     for workload in FIG2_WORKLOADS:
-        # Light-utilization regime: short trace (half-fill), small LPN
-        # footprint -> the device never reaches the GC watermark.
-        trace = sc.trace(
-            workload, config, fill_factor=0.5, lpn_utilization=0.5
-        )
-        results = {}
-        for scheme in ("baseline", "inline-dedupe"):
-            results[scheme] = run_trace(make_scheme(scheme, config), trace)
+        results = {
+            scheme: result_for(
+                RunSpec(workload=workload, scheme=scheme, scale=scale,
+                        trace_overrides=_GC_QUIET)
+            )
+            for scheme in ("baseline", "inline-dedupe")
+        }
         base = results["baseline"].latency.mean_us
         inline = results["inline-dedupe"].latency.mean_us
         normalized = inline / base if base else 0.0

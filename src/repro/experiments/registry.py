@@ -1,8 +1,15 @@
-"""Experiment registry: every paper table/figure plus the ablations."""
+"""Experiment registry: every paper table/figure plus the ablations.
+
+Besides the id -> runner mapping, the registry knows which
+:class:`~repro.runner.RunSpec` fan-out each GC-efficiency experiment is
+built on (:func:`specs_for_experiments`), so the CLI can prewarm the
+shared result cache with a process pool before the (serial) report
+builders run.
+"""
 
 from __future__ import annotations
 
-from typing import Callable, Dict
+from typing import Callable, Dict, Iterable, List, Sequence
 
 from repro.experiments import (
     ablations,
@@ -19,7 +26,8 @@ from repro.experiments import (
     table1_config,
     table2_workloads,
 )
-from repro.experiments.common import ExperimentReport
+from repro.experiments.common import WORKLOADS, ExperimentReport, prefetch_results
+from repro.runner import RunSpec, sweep_specs
 
 EXPERIMENTS: Dict[str, Callable[[str], ExperimentReport]] = {
     "table1": table1_config.run,
@@ -44,6 +52,69 @@ EXPERIMENTS: Dict[str, Callable[[str], ExperimentReport]] = {
     "ablation-channels": ablations.run_channels,
     "stability": stability.run,
 }
+
+
+#: Spec fan-out per experiment: the runs behind Fig 2, Figs 9-13, the
+#: stability study and every ablation sweep.  Tables and the worked
+#: examples (fig6/7/8) are analytic — no simulation, so no entry.
+_SPEC_BUILDERS: Dict[str, Callable[[str], Sequence[RunSpec]]] = {
+    "fig2": fig2_inline_overhead.fig2_specs,
+    "fig9": lambda scale: sweep_specs(WORKLOADS, ("baseline", "cagc"), scale=scale),
+    "fig10": lambda scale: sweep_specs(WORKLOADS, ("baseline", "cagc"), scale=scale),
+    "fig11": lambda scale: sweep_specs(
+        WORKLOADS, ("baseline", "inline-dedupe", "cagc"), scale=scale
+    ),
+    "fig12": lambda scale: sweep_specs(WORKLOADS, ("baseline", "cagc"), scale=scale),
+    "fig13": lambda scale: sweep_specs(
+        WORKLOADS,
+        ("baseline", "cagc"),
+        policies=("random", "greedy", "cost-benefit"),
+        scale=scale,
+    ),
+    "stability": lambda scale: sweep_specs(
+        WORKLOADS, ("baseline", "cagc"), seeds=(0, 1, 2), scale=scale
+    ),
+    "ablation-threshold": ablations.threshold_specs,
+    "ablation-placement": ablations.placement_specs,
+    "ablation-hash-latency": ablations.hash_latency_specs,
+    "ablation-op-space": ablations.op_space_specs,
+    "ablation-gc-mode": ablations.gc_mode_specs,
+    "ablation-separation": ablations.separation_specs,
+    "ablation-write-buffer": ablations.write_buffer_specs,
+    "ablation-hot-victims": ablations.hot_victims_specs,
+    "ablation-channels": ablations.channels_specs,
+}
+
+
+def specs_for_experiments(
+    experiment_ids: Iterable[str], scale: str = "bench"
+) -> List[RunSpec]:
+    """Deduplicated spec fan-out behind the given experiments."""
+    specs: List[RunSpec] = []
+    seen = set()
+    for experiment_id in experiment_ids:
+        builder = _SPEC_BUILDERS.get(experiment_id)
+        if builder is None:
+            continue
+        for spec in builder(scale):
+            if spec not in seen:
+                seen.add(spec)
+                specs.append(spec)
+    return specs
+
+
+def warm_experiments(
+    experiment_ids: Iterable[str], scale: str = "bench", jobs: int = 1
+) -> int:
+    """Prewarm the result cache for the experiments' shared runs.
+
+    Returns the number of distinct specs behind the selection; results
+    land in the in-process memo and the persistent cache, so the
+    subsequent (serial) report builders find every run precomputed.
+    """
+    specs = specs_for_experiments(experiment_ids, scale)
+    prefetch_results(specs, jobs=jobs)
+    return len(specs)
 
 
 def run_experiment(experiment_id: str, scale: str = "bench") -> ExperimentReport:

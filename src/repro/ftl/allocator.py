@@ -41,6 +41,10 @@ class BlockAllocator:
         self.flash = flash
         self._free: Deque[int] = deque(range(flash.blocks))
         self._active: Dict[int, Optional[int]] = {Region.HOT: None, Region.COLD: None}
+        #: Free pages left in each region's active block (hot-path
+        #: counter, saves two array reads per page allocation).
+        self._active_free: Dict[int, int] = {Region.HOT: 0, Region.COLD: 0}
+        self._pages_per_block = flash.pages_per_block
         #: Region tag per block; -1 = untagged (free / never used).
         self.block_region = np.full(flash.blocks, -1, dtype=np.int8)
         #: Live block count per region (indexed by Region.*).
@@ -74,10 +78,12 @@ class BlockAllocator:
         the device layer must GC before that happens.
         """
         block = self._active[region]
-        if block is None or self.flash.free_pages_in(block) == 0:
+        if block is None:
             block = self._pull_free(region)
         ppn = self.flash.program(block, now_us)
-        if self.flash.free_pages_in(block) == 0:
+        left = self._active_free[region] - 1
+        self._active_free[region] = left
+        if left == 0:
             self._active[region] = None  # full blocks leave the active slot
         return ppn
 
@@ -100,6 +106,8 @@ class BlockAllocator:
         self.block_region[block] = region
         self.region_blocks[region] += 1
         self._active[region] = block
+        # Fresh blocks come erased (write_ptr == 0, see check_invariants).
+        self._active_free[region] = self._pages_per_block
         return block
 
     def _no_free(self) -> int:
@@ -141,6 +149,12 @@ class BlockAllocator:
                 raise AssertionError(f"active block {active} is also free")
             if active is not None and self.block_region[active] != region:
                 raise AssertionError(f"active block {active} tagged wrong region")
+            if active is not None and self._active_free[region] != self.flash.free_pages_in(active):
+                raise AssertionError(
+                    f"active block {active}: cached free-page count "
+                    f"{self._active_free[region]} != flash "
+                    f"{self.flash.free_pages_in(active)}"
+                )
         for region in (Region.HOT, Region.COLD):
             tagged = int((self.block_region == region).sum())
             if tagged != self.region_blocks[region]:

@@ -2,14 +2,25 @@
 
 A classic page-mapped FTL keeps LPN -> PPN.  Deduplication makes the
 relation many-to-one: several LPNs may share one physical page.  The
-table therefore also maintains the reverse map PPN -> {LPNs}; the size
-of that set *is* the page's reference count (the quantity CAGC's
-placement policy keys on).
+table therefore also maintains the reverse map PPN -> referrers; the
+cardinality of that entry *is* the page's reference count (the quantity
+CAGC's placement policy keys on).
+
+Representation: per Fig 6, more than 80 % of pages only ever have a
+single referrer, so storing a one-element ``set`` per page would spend
+~200 bytes and a hash-table construction on the overwhelmingly common
+case.  The reverse map therefore stores the referrer LPN as a bare
+``int`` while the refcount is 1, promoting to a real ``set`` only when
+a second LPN actually shares the page (and demoting back when sharing
+ends).  Invariant: an ``int`` entry means refcount exactly 1; a ``set``
+entry always holds >= 2 LPNs.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Set
+from typing import Dict, Iterable, List, Optional, Set, Union
+
+_Refs = Union[int, Set[int]]
 
 
 class MappingError(RuntimeError):
@@ -19,9 +30,12 @@ class MappingError(RuntimeError):
 class MappingTable:
     """LPN->PPN map plus reverse map for shared pages."""
 
+    __slots__ = ("_fwd", "_rev")
+
     def __init__(self) -> None:
         self._fwd: Dict[int, int] = {}
-        self._rev: Dict[int, Set[int]] = {}
+        #: PPN -> single LPN (refcount 1) or set of LPNs (refcount >= 2).
+        self._rev: Dict[int, _Refs] = {}
 
     def __len__(self) -> int:
         return len(self._fwd)
@@ -38,16 +52,34 @@ class MappingTable:
     def refcount(self, ppn: int) -> int:
         """Number of LPNs sharing physical page ``ppn`` (0 if unmapped)."""
         refs = self._rev.get(ppn)
-        return len(refs) if refs else 0
+        if refs is None:
+            return 0
+        return 1 if type(refs) is int else len(refs)
 
     def lpns_of(self, ppn: int) -> List[int]:
         """All LPNs mapped to ``ppn`` (copy; safe to mutate the table)."""
-        return list(self._rev.get(ppn, ()))
+        refs = self._rev.get(ppn)
+        if refs is None:
+            return []
+        return [refs] if type(refs) is int else list(refs)
 
     def mapped_ppns(self) -> Iterable[int]:
         return self._rev.keys()
 
     # -- mutations ---------------------------------------------------------------
+
+    def _drop_ref(self, ppn: int, lpn: int) -> None:
+        """Remove ``lpn`` from ``ppn``'s referrers (if present)."""
+        rev = self._rev
+        refs = rev[ppn]
+        if type(refs) is int:
+            if refs == lpn:
+                del rev[ppn]
+            return
+        refs.discard(lpn)
+        if len(refs) == 1:
+            # Back to a single referrer: demote to the int fast path.
+            rev[ppn] = next(iter(refs))
 
     def bind(self, lpn: int, ppn: int) -> Optional[int]:
         """Map ``lpn`` to ``ppn``; return the previous PPN of ``lpn``.
@@ -55,24 +87,27 @@ class MappingTable:
         The caller decides what to do with the previous PPN (it becomes
         invalid only when its reference count drops to zero).
         """
-        old = self._fwd.get(lpn)
+        fwd = self._fwd
+        rev = self._rev
+        old = fwd.get(lpn)
         if old is not None:
-            refs = self._rev[old]
-            refs.discard(lpn)
-            if not refs:
-                del self._rev[old]
-        self._fwd[lpn] = ppn
-        self._rev.setdefault(ppn, set()).add(lpn)
+            self._drop_ref(old, lpn)
+        fwd[lpn] = ppn
+        refs = rev.get(ppn)
+        if refs is None:
+            rev[ppn] = lpn
+        elif type(refs) is int:
+            if refs != lpn:
+                rev[ppn] = {refs, lpn}
+        else:
+            refs.add(lpn)
         return old
 
     def unbind(self, lpn: int) -> Optional[int]:
         """Remove ``lpn``'s mapping (trim); return the PPN it held."""
         old = self._fwd.pop(lpn, None)
         if old is not None:
-            refs = self._rev[old]
-            refs.discard(lpn)
-            if not refs:
-                del self._rev[old]
+            self._drop_ref(old, lpn)
         return old
 
     def remap_ppn(self, old_ppn: int, new_ppn: int) -> int:
@@ -81,28 +116,54 @@ class MappingTable:
         Returns the number of LPNs moved.  ``new_ppn`` may already have
         its own referrers (dedup merge during CAGC migration).
         """
-        refs = self._rev.pop(old_ppn, None)
+        rev = self._rev
+        refs = rev.pop(old_ppn, None)
         if refs is None:
             return 0
         if old_ppn == new_ppn:
             raise MappingError("remap_ppn to the same PPN")
-        target = self._rev.setdefault(new_ppn, set())
+        fwd = self._fwd
+        target = rev.get(new_ppn)
+        if type(refs) is int:
+            fwd[refs] = new_ppn
+            if target is None:
+                rev[new_ppn] = refs
+            elif type(target) is int:
+                rev[new_ppn] = {target, refs}
+            else:
+                target.add(refs)
+            return 1
+        moved = len(refs)
         for lpn in refs:
-            self._fwd[lpn] = new_ppn
-            target.add(lpn)
-        return len(refs)
+            fwd[lpn] = new_ppn
+        if target is None:
+            rev[new_ppn] = refs  # transfer the set wholesale
+        elif type(target) is int:
+            refs.add(target)
+            rev[new_ppn] = refs
+        else:
+            target |= refs
+        return moved
 
     # -- invariants ----------------------------------------------------------------
 
     def check_invariants(self) -> None:
-        """Forward and reverse maps must mirror each other (test hook)."""
+        """Forward and reverse maps must mirror each other, and every
+        reverse entry must use the right representation (test hook)."""
         count = 0
         for ppn, refs in self._rev.items():
-            if not refs:
-                raise AssertionError(f"empty referrer set for ppn {ppn}")
-            for lpn in refs:
+            if type(refs) is int:
+                lpns = (refs,)
+            else:
+                if len(refs) < 2:
+                    raise AssertionError(
+                        f"ppn {ppn}: set representation with {len(refs)} "
+                        "referrers (refcount<2 must use the int fast path)"
+                    )
+                lpns = tuple(refs)
+            for lpn in lpns:
                 if self._fwd.get(lpn) != ppn:
                     raise AssertionError(f"rev says {lpn}->{ppn}, fwd disagrees")
-            count += len(refs)
+            count += len(lpns)
         if count != len(self._fwd):
             raise AssertionError("reverse map cardinality mismatch")

@@ -1,0 +1,90 @@
+"""Schema-versioned serialization of :class:`~repro.device.ssd.RunResult`.
+
+A ``RunResult`` mixes plain dataclasses (latency summary, GC/IO
+counters, wear stats, optional write-buffer stats) with a NumPy array
+of raw per-request response times, so it is stored as an ``.npz``
+archive: the array verbatim plus one JSON metadata entry.  JSON floats
+round-trip exactly (shortest-repr), so a load reproduces the result
+bit-for-bit — the property the runner's determinism tests pin.
+
+``SCHEMA_VERSION`` is folded into every cache key (see
+:meth:`repro.runner.spec.RunSpec.key`); bumping it therefore invalidates
+all previously cached results instead of misreading them.  Loads also
+verify the version embedded in the file and raise
+:class:`SchemaMismatchError` on disagreement (e.g. a cache directory
+shared between checkouts).
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from typing import Optional
+
+import numpy as np
+
+from repro.device.writebuffer import WriteBufferStats
+from repro.metrics.counters import GCCounters, IOCounters
+from repro.metrics.latency import LatencySummary
+from repro.ftl.wear import WearStats
+
+#: Bump on any incompatible change to the stored result layout.
+SCHEMA_VERSION = 1
+
+
+class SchemaMismatchError(RuntimeError):
+    """A stored result was written under a different schema version."""
+
+
+def result_to_bytes(result) -> bytes:
+    """Serialize a ``RunResult`` to compressed ``.npz`` bytes."""
+    meta = {
+        "schema": SCHEMA_VERSION,
+        "scheme": result.scheme,
+        "trace": result.trace,
+        "latency": result.latency.as_dict(),
+        "gc": vars(result.gc).copy(),
+        "io": vars(result.io).copy(),
+        "wear": {
+            "total_erases": result.wear.total_erases,
+            "max_erase": result.wear.max_erase,
+            "mean_erase": result.wear.mean_erase,
+            "std_erase": result.wear.std_erase,
+        },
+        "simulated_us": result.simulated_us,
+        "buffer": vars(result.buffer).copy() if result.buffer is not None else None,
+    }
+    buf = io.BytesIO()
+    np.savez_compressed(
+        buf,
+        response_times_us=np.ascontiguousarray(result.response_times_us),
+        meta=np.frombuffer(json.dumps(meta).encode("utf-8"), dtype=np.uint8),
+    )
+    return buf.getvalue()
+
+
+def result_from_bytes(payload: bytes):
+    """Reconstruct a ``RunResult`` from :func:`result_to_bytes` output."""
+    from repro.device.ssd import RunResult  # circular at import time
+
+    with np.load(io.BytesIO(payload)) as archive:
+        meta = json.loads(archive["meta"].tobytes().decode("utf-8"))
+        samples = archive["response_times_us"].copy()
+    if meta.get("schema") != SCHEMA_VERSION:
+        raise SchemaMismatchError(
+            f"stored schema {meta.get('schema')!r} != current {SCHEMA_VERSION}"
+        )
+    buffer: Optional[WriteBufferStats] = None
+    if meta["buffer"] is not None:
+        buffer = WriteBufferStats(**meta["buffer"])
+    return RunResult(
+        scheme=meta["scheme"],
+        trace=meta["trace"],
+        latency=LatencySummary(**meta["latency"]),
+        response_times_us=samples,
+        gc=GCCounters(**meta["gc"]),
+        io=IOCounters(**meta["io"]),
+        wear=WearStats(**meta["wear"]),
+        simulated_us=meta["simulated_us"],
+        buffer=buffer,
+    )

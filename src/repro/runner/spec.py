@@ -1,0 +1,196 @@
+"""Work-unit abstraction for the experiment runner.
+
+A :class:`RunSpec` is a frozen, hashable description of exactly one
+simulation: which Table II workload preset to replay, under which FTL
+scheme, victim policy, trace seed and experiment scale — plus optional
+config/trace overrides, scheme options and device choice so that the
+ablation sweeps (threshold, OP space, GC mode, channel counts, ...) are
+expressible as specs too.  Every paper figure and ablation decomposes
+into a fan-out of independent specs, so the spec is the unit of
+scheduling (process-pool fan-out) and of caching (persistent result
+store keyed by :meth:`RunSpec.key`).
+
+The key is a *content hash*: a SHA-256 over the canonical JSON of the
+spec fields plus the cache schema version, so it is stable across
+processes and Python versions (unlike ``hash()``) and changes whenever
+the serialized result format changes.
+
+Override fields are sorted ``(key, value)`` tuples (kept canonical by
+``__post_init__``) with JSON-serializable values.  Config override keys
+may be dotted to reach the nested dataclasses: ``"timing.hash_us"``
+builds a ``TimingConfig(hash_us=...)``, ``"geometry.channels"`` rewrites
+the scale's geometry.  :func:`freeze_overrides` builds the tuples from a
+mapping or kwargs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from repro.runner.serialize import SCHEMA_VERSION
+
+#: override tuples: sorted ((key, value), ...) with JSON values.
+Overrides = Tuple[Tuple[str, Any], ...]
+
+
+def freeze_overrides(
+    mapping: Optional[Mapping[str, Any]] = None, **kwargs: Any
+) -> Overrides:
+    """Canonical override tuple from a mapping and/or kwargs.
+
+    Use the mapping form for dotted keys (``{"timing.hash_us": 2.0}``)
+    that are not valid Python identifiers.
+    """
+    merged: Dict[str, Any] = dict(mapping or {})
+    merged.update(kwargs)
+    return tuple(sorted(merged.items()))
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One (workload, scheme, policy, seed, scale) simulation."""
+
+    workload: str
+    scheme: str
+    policy: str = "greedy"
+    seed: int = 0
+    scale: str = "bench"
+    #: SSDConfig field overrides; dotted keys reach timing/geometry.
+    config_overrides: Overrides = ()
+    #: keyword overrides for the scale's trace builder (fill_factor, ...).
+    trace_overrides: Overrides = ()
+    #: scheme-constructor options (cagc only): ``prefer_hot_victims``,
+    #: ``placement`` ("never-cold").
+    scheme_options: Overrides = ()
+    #: controller: "single" (FlashSim-style queue) or "parallel".
+    device: str = "single"
+
+    def __post_init__(self) -> None:
+        # Canonicalize: same overrides in any order -> equal spec, equal
+        # hash, equal cache key.
+        for name in ("config_overrides", "trace_overrides", "scheme_options"):
+            value = tuple(sorted(tuple(item) for item in getattr(self, name)))
+            object.__setattr__(self, name, value)
+
+    def key(self) -> str:
+        """Stable content-hash key for cache file naming."""
+        doc = {"v": SCHEMA_VERSION, **asdict(self)}
+        for name in ("config_overrides", "trace_overrides", "scheme_options"):
+            doc[name] = dict(doc[name])
+        canonical = json.dumps(doc, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("ascii")).hexdigest()
+
+    def label(self) -> str:
+        """Human-readable id, e.g. ``mail/cagc/greedy@bench#0``."""
+        base = f"{self.workload}/{self.scheme}/{self.policy}@{self.scale}#{self.seed}"
+        extras = []
+        for name, tag in (
+            ("config_overrides", "cfg"),
+            ("trace_overrides", "trace"),
+            ("scheme_options", "opt"),
+        ):
+            pairs = getattr(self, name)
+            if pairs:
+                extras.append(f"{tag}:" + ",".join(f"{k}={v}" for k, v in pairs))
+        if self.device != "single":
+            extras.append(f"dev:{self.device}")
+        return base + (f" [{'; '.join(extras)}]" if extras else "")
+
+    # ------------------------------------------------------------ execution
+
+    def _build_config(self, sc):
+        import dataclasses as dc
+
+        from repro.config import TimingConfig
+
+        timing_kwargs: Dict[str, Any] = {}
+        geometry_kwargs: Dict[str, Any] = {}
+        flat: Dict[str, Any] = {}
+        for key, value in self.config_overrides:
+            if key.startswith("timing."):
+                timing_kwargs[key[len("timing.") :]] = value
+            elif key.startswith("geometry."):
+                geometry_kwargs[key[len("geometry.") :]] = value
+            else:
+                flat[key] = value
+        if timing_kwargs:
+            flat["timing"] = TimingConfig(**timing_kwargs)
+        config = sc.config(**flat)
+        if geometry_kwargs:
+            config = dc.replace(
+                config, geometry=dc.replace(config.geometry, **geometry_kwargs)
+            )
+            config.validate()
+        return config
+
+    def _build_scheme(self, config):
+        from repro.ftl.gc import make_policy
+        from repro.schemes import make_scheme
+
+        policy = make_policy(self.policy, seed=self.seed)
+        options = dict(self.scheme_options)
+        if not options:
+            return make_scheme(self.scheme, config, policy=policy)
+        if self.scheme != "cagc":
+            raise ValueError(
+                f"scheme_options are only supported for 'cagc', not {self.scheme!r}"
+            )
+        from repro.core.cagc import CAGCScheme
+        from repro.core.placement import NeverColdPlacement
+
+        placement = None
+        placement_name = options.pop("placement", None)
+        if placement_name is not None:
+            if placement_name != "never-cold":
+                raise ValueError(f"unknown placement override {placement_name!r}")
+            placement = NeverColdPlacement(config)
+        return CAGCScheme(config, policy=policy, placement=placement, **options)
+
+    def execute(self):
+        """Run the simulation described by this spec (no caching).
+
+        Mirrors the historical ``gc_efficiency_result`` construction
+        exactly: ``seed=0`` replays the preset's canonical trace, other
+        seeds draw an independent trace with the same characteristics.
+        """
+        # Imported lazily: repro.experiments.common itself builds on the
+        # runner, so a module-level import would be circular.
+        from repro.experiments.common import get_scale
+        from repro.device.ssd import run_trace
+
+        sc = get_scale(self.scale)
+        config = self._build_config(sc)
+        trace = sc.trace(
+            self.workload,
+            config,
+            seed=(10_000 + self.seed) if self.seed else None,
+            **dict(self.trace_overrides),
+        )
+        ftl = self._build_scheme(config)
+        if self.device == "parallel":
+            from repro.device.parallel import ParallelSSD
+
+            return ParallelSSD(ftl).replay(trace)
+        if self.device != "single":
+            raise ValueError(f"unknown device {self.device!r}")
+        return run_trace(ftl, trace)
+
+
+def sweep_specs(
+    workloads: Tuple[str, ...],
+    schemes: Tuple[str, ...],
+    policies: Tuple[str, ...] = ("greedy",),
+    seeds: Tuple[int, ...] = (0,),
+    scale: str = "bench",
+) -> Tuple[RunSpec, ...]:
+    """Cartesian product of the sweep axes, in deterministic order."""
+    return tuple(
+        RunSpec(workload=w, scheme=s, policy=p, seed=seed, scale=scale)
+        for w in workloads
+        for s in schemes
+        for p in policies
+        for seed in seeds
+    )

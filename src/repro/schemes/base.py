@@ -61,6 +61,22 @@ class GCBlockOutcome:
     promotions: int
 
 
+def _watermark_blocks(watermark: float, blocks: int) -> int:
+    """Smallest free-block count at/above ``watermark``.
+
+    Returns ``t`` such that ``free < t  <=>  free / blocks < watermark``
+    for every integer ``free`` — the exact integer form of the float
+    fraction comparison, so the hot path can test a plain ``int`` per
+    write instead of dividing.
+    """
+    t = int(watermark * blocks)
+    while t > 0 and (t - 1) / blocks >= watermark:
+        t -= 1
+    while t < blocks and t / blocks < watermark:
+        t += 1
+    return t
+
+
 class FTLScheme(abc.ABC):
     """Base FTL: state, bookkeeping, and the GC driver loop."""
 
@@ -87,6 +103,11 @@ class FTLScheme(abc.ABC):
         self.policy = policy if policy is not None else make_policy("greedy")
         self.gc_counters = GCCounters()
         self.io_counters = IOCounters()
+        # Integer free-block thresholds equivalent to the configured
+        # watermark fractions (checked on every write; see needs_gc).
+        blocks = self.flash.blocks
+        self._gc_trigger_blocks = _watermark_blocks(config.gc_watermark, blocks)
+        self._gc_stop_blocks = _watermark_blocks(config.gc_stop_watermark, blocks)
 
     # ------------------------------------------------------------------ user I/O
 
@@ -95,15 +116,20 @@ class FTLScheme(abc.ABC):
         programs = 0
         hashed = 0
         hits = 0
-        for offset, fp in enumerate(fps):
-            out = self.write_page(lpn + offset, int(fp), now_us)
+        # One bulk ndarray -> list conversion instead of one int() boxing
+        # per page (fps is a view into the trace's flat fingerprint array).
+        values = fps.tolist() if hasattr(fps, "tolist") else fps
+        write_page = self.write_page
+        for offset, fp in enumerate(values):
+            out = write_page(lpn + offset, fp, now_us)
             programs += out.programs
             hashed += out.hashed_pages
             hits += out.dedup_hits
-        self.io_counters.write_requests += 1
-        self.io_counters.logical_pages_written += len(fps)
-        self.io_counters.user_pages_programmed += programs
-        self.io_counters.inline_dedup_hits += hits
+        io = self.io_counters
+        io.write_requests += 1
+        io.logical_pages_written += len(values)
+        io.user_pages_programmed += programs
+        io.inline_dedup_hits += hits
         return WriteOutcome(programs=programs, hashed_pages=hashed, dedup_hits=hits)
 
     def destage(self, pages: Sequence[Tuple[int, int]], now_us: float) -> WriteOutcome:
@@ -151,11 +177,11 @@ class FTLScheme(abc.ABC):
     # ------------------------------------------------------------------ GC driver
 
     def needs_gc(self) -> bool:
-        return self.allocator.free_fraction() < self.config.gc_watermark
+        return self.allocator.free_blocks < self._gc_trigger_blocks
 
     def needs_background_gc(self) -> bool:
         """Idle-time GC runs until the stop watermark (preemptive mode)."""
-        return self.allocator.free_fraction() < self.config.gc_stop_watermark
+        return self.allocator.free_blocks < self._gc_stop_blocks
 
     def run_gc(self, now_us: float) -> float:
         """Run a GC burst until the stop watermark; returns busy time."""
@@ -163,10 +189,10 @@ class FTLScheme(abc.ABC):
             return 0.0
         self.gc_counters.gc_invocations += 1
         duration = 0.0
-        stop = self.config.gc_stop_watermark
+        stop = self._gc_stop_blocks
         burst = 0
         while (
-            self.allocator.free_fraction() < stop
+            self.allocator.free_blocks < stop
             and burst < self.config.gc_burst_blocks
         ):
             burst += 1

@@ -1,0 +1,48 @@
+"""Opt-in throughput regression guard (``pytest -m benchguard``).
+
+Deselected by default (see ``addopts`` in pyproject.toml): wall-clock
+benchmarks have no place in the unit suite, but CI can run
+``pytest -m benchguard`` as a perf gate.  The guard compares a fresh
+snapshot's best-of-rounds timing against the committed
+``BENCH_throughput.json`` baseline with a 25% allowance (see
+``scripts/check_bench_regression.py`` for the comparison policy).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SCRIPTS = REPO_ROOT / "scripts"
+BASELINE = REPO_ROOT / "BENCH_throughput.json"
+
+pytestmark = pytest.mark.benchguard
+
+
+@pytest.fixture(scope="module")
+def guard_module():
+    sys.path.insert(0, str(SCRIPTS))
+    try:
+        import check_bench_regression
+
+        yield check_bench_regression
+    finally:
+        sys.path.remove(str(SCRIPTS))
+
+
+def test_baseline_snapshot_is_committed_and_comparable(guard_module):
+    baseline = json.loads(BASELINE.read_text())
+    assert baseline["schema"] == guard_module.SNAPSHOT_SCHEMA
+    assert set(baseline["replay"]) == {"baseline", "inline-dedupe", "cagc"}
+    assert baseline["replay_requests"] == 5_000
+
+
+def test_hot_loop_within_threshold_of_baseline(guard_module):
+    # min-of-rounds plus re-measured regressions: the guard needs
+    # several shots at a quiet scheduling window on small CI boxes.
+    rc = guard_module.run_check(BASELINE, threshold=0.25, rounds=7, attempts=3)
+    assert rc == 0, "hot loop regressed >25% vs committed BENCH_throughput.json"

@@ -186,3 +186,61 @@ class TestDeviceIntegration:
         scheme = make_scheme("cagc", config)
         run_trace(scheme, rewrite_trace(config))
         scheme.check_invariants()
+
+
+class TestBufferedReadOverhead:
+    """Pin the per-request overhead accounting of buffered reads.
+
+    The firmware/host overhead must be charged exactly once per request:
+    a pure miss costs exactly what a bufferless read would, a pure hit
+    costs overhead + DRAM slots, and a mixed request pays the flash read
+    for its misses plus one DRAM slot per hit — never two overheads.
+    """
+
+    OVERHEAD = 20.0
+    READ = 12.0
+    DRAM = 1.0
+
+    def config(self) -> SSDConfig:
+        return SSDConfig(
+            geometry=GeometryConfig(channels=2, pages_per_block=8, blocks=32),
+            timing=TimingConfig(overhead_us=self.OVERHEAD, read_us=self.READ),
+            write_buffer_pages=1024,  # never overflows in these tests
+            write_buffer_dram_us=self.DRAM,
+        )
+
+    def read_response(self, write_lpns, read_lpn, npages) -> float:
+        """Response time of one n-page read after buffering ``write_lpns``."""
+        reqs = [
+            IORequest(i * 1000.0, OpKind.WRITE, lpn, 1, (lpn + 1,))
+            for i, lpn in enumerate(write_lpns)
+        ]
+        reqs.append(IORequest(1e6, OpKind.READ, read_lpn, npages))
+        result = run_trace(
+            make_scheme("baseline", self.config()),
+            Trace.from_requests(reqs, name="buffered-read"),
+        )
+        return float(result.response_times_us[-1])
+
+    def test_all_hit_costs_overhead_plus_dram_slots(self):
+        # 4 buffered pages: one request overhead + 4 DRAM accesses.
+        got = self.read_response(write_lpns=[0, 1, 2, 3], read_lpn=0, npages=4)
+        assert got == pytest.approx(self.OVERHEAD + 4 * self.DRAM)
+
+    def test_all_miss_costs_exactly_bufferless_read(self):
+        # 4 unbuffered pages over 2 channels: overhead + ceil(4/2) slots,
+        # identical to a device with no buffer at all.
+        got = self.read_response(write_lpns=[0, 1, 2, 3], read_lpn=100, npages=4)
+        assert got == pytest.approx(self.OVERHEAD + 2 * self.READ)
+
+    def test_mixed_charges_one_overhead_total(self):
+        # LPNs 0-1 buffered, 2-3 not: one overhead + 2 DRAM slots +
+        # flash slots for the 2 misses (their overhead already counted).
+        got = self.read_response(write_lpns=[0, 1], read_lpn=0, npages=4)
+        flash_part = (self.OVERHEAD + 1 * self.READ) - self.OVERHEAD
+        assert got == pytest.approx(self.OVERHEAD + 2 * self.DRAM + flash_part)
+
+    def test_mixed_cheaper_than_all_miss(self):
+        mixed = self.read_response(write_lpns=[0, 1], read_lpn=0, npages=4)
+        miss = self.read_response(write_lpns=[0, 1], read_lpn=100, npages=4)
+        assert mixed < miss

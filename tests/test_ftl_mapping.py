@@ -142,3 +142,87 @@ class TestInvariantsProperty:
             m.bind(lpn, ppn)
         total = sum(m.refcount(p) for p in set(m.mapped_ppns()))
         assert total == len(m)
+
+
+class TestCompactReverseMap:
+    """The reverse map stores a bare int for a sole referrer and only
+    promotes to a set at refcount 2 (the paper's Fig 6: >80% of pages
+    have exactly one referrer).  These tests drive the promote/demote
+    transitions and check the table against a plain dict model."""
+
+    def test_promote_on_second_sharer_demote_on_unbind(self):
+        m = MappingTable()
+        m.bind(1, 10)
+        assert type(m._rev[10]) is int  # sole referrer stays unboxed
+        m.bind(2, 10)
+        assert type(m._rev[10]) is set  # promoted on share
+        m.unbind(1)
+        assert type(m._rev[10]) is int  # demoted back at refcount 1
+        assert m.lookup(2) == 10
+        m.check_invariants()
+
+    def test_lpn_zero_is_a_valid_sole_referrer(self):
+        # LPN 0 is falsy; the int representation must not confuse it
+        # with "absent".
+        m = MappingTable()
+        m.bind(0, 10)
+        assert m.refcount(10) == 1
+        assert list(m.lpns_of(10)) == [0]
+        assert m.unbind(0) == 10
+        assert m.refcount(10) == 0
+        m.check_invariants()
+
+    def test_remap_merges_int_into_int(self):
+        m = MappingTable()
+        m.bind(1, 10)
+        m.bind(2, 20)
+        assert m.remap_ppn(10, 20) == 1
+        assert type(m._rev[20]) is set
+        assert m.refcount(20) == 2
+        m.check_invariants()
+
+    def test_remap_transfers_set_wholesale(self):
+        m = MappingTable()
+        m.bind(1, 10)
+        m.bind(2, 10)
+        assert m.remap_ppn(10, 50) == 2
+        assert type(m._rev[50]) is set
+        assert sorted(m.lpns_of(50)) == [1, 2]
+        m.check_invariants()
+
+    @given(
+        ops=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=2),  # bind/unbind/remap
+                st.integers(min_value=0, max_value=9),  # lpn
+                st.integers(min_value=0, max_value=11),  # ppn
+                st.integers(min_value=0, max_value=11),  # remap target
+            ),
+            max_size=120,
+        )
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_matches_reference_model(self, ops):
+        m = MappingTable()
+        model = {}  # lpn -> ppn, the obviously-correct forward map
+        for op, lpn, ppn, target in ops:
+            if op == 0:
+                assert m.bind(lpn, ppn) == model.get(lpn)
+                model[lpn] = ppn
+            elif op == 1:
+                assert m.unbind(lpn) == model.pop(lpn, None)
+            elif target != ppn:
+                moved = sum(1 for p in model.values() if p == ppn)
+                assert m.remap_ppn(ppn, target) == moved
+                model = {
+                    l: (target if p == ppn else p) for l, p in model.items()
+                }
+            m.check_invariants()
+        assert len(m) == len(model)
+        for lpn in range(10):
+            assert m.lookup(lpn) == model.get(lpn)
+        for ppn in range(12):
+            referrers = sorted(l for l, p in model.items() if p == ppn)
+            assert sorted(m.lpns_of(ppn)) == referrers
+            assert m.refcount(ppn) == len(referrers)
+            assert m.is_mapped(ppn) == bool(referrers)

@@ -1,0 +1,118 @@
+#!/usr/bin/env python
+"""Capture a throughput snapshot of the simulator hot loop.
+
+Runs the same workloads as ``benchmarks/bench_simulator_throughput.py``
+(one trace replay per scheme, plus trace generation) under a plain
+``time.perf_counter`` harness and writes the median microseconds per
+operation to ``BENCH_throughput.json`` at the repository root.  The
+committed snapshot is the perf-trajectory baseline that
+``scripts/check_bench_regression.py`` (and the opt-in ``benchguard``
+pytest marker) compare fresh runs against.
+
+Usage::
+
+    PYTHONPATH=src python tools/bench_snapshot.py            # write baseline
+    PYTHONPATH=src python tools/bench_snapshot.py --out -    # print to stdout
+    PYTHONPATH=src python tools/bench_snapshot.py --rounds 7
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import statistics
+import sys
+import time
+from pathlib import Path
+from typing import Callable, Dict, List
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.config import small_config  # noqa: E402
+from repro.device.ssd import run_trace  # noqa: E402
+from repro.schemes import make_scheme  # noqa: E402
+from repro.workloads.fiu import build_fiu_trace  # noqa: E402
+
+#: Bump when the benchmark workload itself changes (snapshots are then
+#: incomparable and the guard refuses to compare them).
+SNAPSHOT_SCHEMA = 1
+
+SCHEMES = ("baseline", "inline-dedupe", "cagc")
+REPLAY_REQUESTS = 5_000
+TRACE_GEN_REQUESTS = 20_000
+DEFAULT_OUT = REPO_ROOT / "BENCH_throughput.json"
+
+
+def _median_us_per_op(fn: Callable[[], object], ops: int, rounds: int) -> Dict[str, float]:
+    walls: List[float] = []
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        walls.append(time.perf_counter() - start)
+    median = statistics.median(walls)
+    return {
+        "median_us_per_op": median * 1e6 / ops,
+        "median_wall_s": median,
+        "min_wall_s": min(walls),
+        "rounds": rounds,
+    }
+
+
+def take_snapshot(rounds: int = 5) -> dict:
+    """Run every benchmark case and return the snapshot document."""
+    cfg = small_config(blocks=128, pages_per_block=32)
+    trace = build_fiu_trace("mail", cfg, n_requests=REPLAY_REQUESTS)
+
+    cases: Dict[str, Dict[str, float]] = {}
+    for scheme_name in SCHEMES:
+        # Warm-up once so allocator/numpy one-time costs stay out of the
+        # measured rounds.
+        run_trace(make_scheme(scheme_name, cfg), trace)
+        cases[scheme_name] = _median_us_per_op(
+            lambda: run_trace(make_scheme(scheme_name, cfg), trace),
+            ops=len(trace),
+            rounds=rounds,
+        )
+
+    build_fiu_trace("web-vm", cfg, n_requests=TRACE_GEN_REQUESTS)
+    trace_gen = _median_us_per_op(
+        lambda: build_fiu_trace("web-vm", cfg, n_requests=TRACE_GEN_REQUESTS),
+        ops=TRACE_GEN_REQUESTS,
+        rounds=rounds,
+    )
+
+    return {
+        "schema": SNAPSHOT_SCHEMA,
+        "benchmark": "bench_simulator_throughput",
+        "replay_requests": REPLAY_REQUESTS,
+        "python": platform.python_version(),
+        "replay": cases,
+        "trace_generation": trace_gen,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--rounds", type=int, default=5, help="timing rounds per case")
+    parser.add_argument(
+        "--out",
+        default=str(DEFAULT_OUT),
+        help="output path, or '-' for stdout (default: BENCH_throughput.json)",
+    )
+    args = parser.parse_args(argv)
+    snapshot = take_snapshot(rounds=args.rounds)
+    payload = json.dumps(snapshot, indent=2, sort_keys=True) + "\n"
+    if args.out == "-":
+        sys.stdout.write(payload)
+    else:
+        Path(args.out).write_text(payload)
+        for scheme_name, case in snapshot["replay"].items():
+            print(f"{scheme_name:>14}: {case['median_us_per_op']:.1f} us/op")
+        print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
