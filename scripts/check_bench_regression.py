@@ -35,9 +35,7 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 sys.path.insert(0, str(REPO_ROOT / "tools"))
 
 from bench_snapshot import (  # noqa: E402
-    REPLAY_REQUESTS,
     SNAPSHOT_SCHEMA,
-    TRACE_GEN_REQUESTS,
     take_snapshot,
 )
 
@@ -45,8 +43,10 @@ DEFAULT_BASELINE = REPO_ROOT / "BENCH_throughput.json"
 DEFAULT_THRESHOLD = 0.25
 
 
-def _fresh_best_us_per_op(case: Dict[str, float], ops: int) -> float:
-    return case["min_wall_s"] * 1e6 / ops
+def _fresh_best_us_per_op(case: Dict[str, float]) -> float:
+    # Schema 2 records the op count per case (cases run at different
+    # geometries replay different trace lengths).
+    return case["min_wall_s"] * 1e6 / case["ops"]
 
 
 def compare(
@@ -68,13 +68,13 @@ def compare(
         if base_case is None:
             continue  # new case: nothing to regress against
         base_us = base_case["median_us_per_op"]
-        fresh_us = _fresh_best_us_per_op(case, REPLAY_REQUESTS)
+        fresh_us = _fresh_best_us_per_op(case)
         if fresh_us > base_us * (1.0 + threshold):
             regressions.append((f"replay/{name}", base_us, fresh_us, fresh_us / base_us))
     base_gen = baseline.get("trace_generation")
     if base_gen is not None:
         base_us = base_gen["median_us_per_op"]
-        fresh_us = _fresh_best_us_per_op(fresh["trace_generation"], TRACE_GEN_REQUESTS)
+        fresh_us = _fresh_best_us_per_op(fresh["trace_generation"])
         if fresh_us > base_us * (1.0 + threshold):
             regressions.append(("trace_generation", base_us, fresh_us, fresh_us / base_us))
     return regressions
@@ -119,7 +119,7 @@ def run_check(
         return 2
     for name, case in fresh["replay"].items():
         base = baseline["replay"].get(name, {}).get("median_us_per_op")
-        fresh_us = _fresh_best_us_per_op(case, REPLAY_REQUESTS)
+        fresh_us = _fresh_best_us_per_op(case)
         ref = f"{base:.1f}" if base is not None else "n/a"
         print(f"{name:>16}: {fresh_us:6.1f} us/op (baseline median {ref})", file=out)
     if regressions:

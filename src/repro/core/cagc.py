@@ -44,6 +44,9 @@ class CAGCScheme(FTLScheme):
     """Content-aware GC with reference-count hot/cold placement."""
 
     name = "cagc"
+    #: Foreground writes are baseline-identical (dedup deferred to GC),
+    #: so they qualify for the bulk program-run fast path.
+    bulk_user_writes = True
 
     def __init__(
         self,

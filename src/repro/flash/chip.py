@@ -42,6 +42,11 @@ class FlashArray:
         self.geometry = Geometry(config)
         n_pages = self.geometry.total_pages
         n_blocks = self.geometry.blocks
+        # Hot-path scalars cached as plain attributes: the mutators below
+        # run tens of thousands of times per replay, and property/method
+        # dispatch on every call is measurable there.
+        self._ppb = self.geometry.pages_per_block
+        self._total_pages = n_pages
         self.page_state = np.full(n_pages, PageState.FREE, dtype=np.uint8)
         self.valid_count = np.zeros(n_blocks, dtype=np.int32)
         self.invalid_count = np.zeros(n_blocks, dtype=np.int32)
@@ -50,6 +55,10 @@ class FlashArray:
         self.last_write_us = np.zeros(n_blocks, dtype=np.float64)
         self.total_programs = 0
         self.total_erases = 0
+        #: Optional :class:`repro.ftl.gc.index.VictimIndex` kept in sync
+        #: with block transitions (full / invalidate / erase) so GC
+        #: victim selection never rescans the whole array.
+        self.victim_index = None
 
     # -- queries -----------------------------------------------------------------
 
@@ -87,7 +96,7 @@ class FlashArray:
     def valid_ppns_in(self, block: int) -> List[int]:
         """PPNs of VALID pages in a block (for GC migration)."""
         self.geometry.check_block(block)
-        base = block * self.pages_per_block
+        base = block * self._ppb
         states = self.page_state[base : base + int(self.write_ptr[block])]
         return [base + int(i) for i in np.nonzero(states == PageState.VALID)[0]]
 
@@ -95,11 +104,13 @@ class FlashArray:
 
     def program(self, block: int, now_us: float = 0.0) -> int:
         """Program the next free page of ``block``; return its PPN."""
-        self.geometry.check_block(block)
+        ppb = self._ppb
+        if block < 0 or block >= self.geometry.blocks:
+            self.geometry.check_block(block)
         ptr = int(self.write_ptr[block])
-        if ptr >= self.pages_per_block:
+        if ptr >= ppb:
             raise ProgramError(f"block {block} is full")
-        ppn = self.geometry.make_ppn(block, ptr)
+        ppn = block * ppb + ptr
         # write_ptr < pages_per_block guarantees the page is FREE, but a
         # corrupted pointer would silently overwrite — check explicitly.
         if self.page_state[ppn] != PageState.FREE:
@@ -109,33 +120,77 @@ class FlashArray:
         self.valid_count[block] += 1
         self.last_write_us[block] = now_us
         self.total_programs += 1
+        if ptr + 1 == ppb and self.victim_index is not None:
+            self.victim_index.on_block_full(block, int(self.invalid_count[block]))
         return ppn
+
+    def program_run(self, block: int, count: int, now_us: float = 0.0) -> int:
+        """Program ``count`` consecutive pages of ``block`` in one sweep.
+
+        The bulk equivalent of ``count`` back-to-back :meth:`program`
+        calls: one slice write over the page-state array and one update
+        per block counter, instead of per-page NumPy scalar traffic.
+        Returns the first PPN of the run.
+        """
+        ppb = self._ppb
+        if block < 0 or block >= self.geometry.blocks:
+            self.geometry.check_block(block)
+        ptr = int(self.write_ptr[block])
+        if count <= 0:
+            raise ProgramError(f"program_run needs a positive count, got {count}")
+        if ptr + count > ppb:
+            raise ProgramError(
+                f"block {block}: run of {count} pages overflows "
+                f"(write_ptr={ptr}, pages_per_block={ppb})"
+            )
+        base = block * ppb + ptr
+        span = self.page_state[base : base + count]
+        if span.any():  # FREE == 0: any nonzero state forbids the program
+            bad = base + int(np.nonzero(span)[0][0])
+            raise ProgramError(f"page {bad} is not free (state={self.page_state[bad]})")
+        span[:] = PageState.VALID
+        self.write_ptr[block] = ptr + count
+        self.valid_count[block] += count
+        self.last_write_us[block] = now_us
+        self.total_programs += count
+        if ptr + count == ppb and self.victim_index is not None:
+            self.victim_index.on_block_full(block, int(self.invalid_count[block]))
+        return base
 
     def invalidate(self, ppn: int) -> None:
         """Mark a VALID page INVALID (out-of-place update or trim)."""
-        self.geometry.check_ppn(ppn)
-        if self.page_state[ppn] != PageState.VALID:
+        if ppn < 0 or ppn >= self._total_pages:
+            self.geometry.check_ppn(ppn)
+        page_state = self.page_state
+        if page_state[ppn] != PageState.VALID:
             raise ProgramError(
-                f"cannot invalidate page {ppn}: state={self.page_state[ppn]}"
+                f"cannot invalidate page {ppn}: state={page_state[ppn]}"
             )
-        block = self.geometry.ppn_to_block(ppn)
-        self.page_state[ppn] = PageState.INVALID
+        block = ppn // self._ppb
+        page_state[ppn] = PageState.INVALID
         self.valid_count[block] -= 1
-        self.invalid_count[block] += 1
+        invalid = int(self.invalid_count[block]) + 1
+        self.invalid_count[block] = invalid
+        if self.victim_index is not None:
+            self.victim_index.on_invalidate(block, invalid)
 
     def erase(self, block: int) -> None:
         """Erase a block; all its pages become FREE."""
-        self.geometry.check_block(block)
+        if block < 0 or block >= self.geometry.blocks:
+            self.geometry.check_block(block)
         if self.valid_count[block] != 0:
             raise EraseError(
                 f"block {block} still has {int(self.valid_count[block])} valid pages"
             )
-        base = block * self.pages_per_block
-        self.page_state[base : base + self.pages_per_block] = PageState.FREE
+        ppb = self._ppb
+        base = block * ppb
+        self.page_state[base : base + ppb] = PageState.FREE
         self.invalid_count[block] = 0
         self.write_ptr[block] = 0
         self.erase_count[block] += 1
         self.total_erases += 1
+        if self.victim_index is not None:
+            self.victim_index.on_erase(block)
 
     # -- invariants -----------------------------------------------------------------
 

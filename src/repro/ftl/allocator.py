@@ -13,8 +13,9 @@ the HOT region.
 
 from __future__ import annotations
 
+import heapq
 from collections import deque
-from typing import Deque, Dict, Optional
+from typing import Deque, Dict, Iterable, List, Optional, Set, Tuple
 
 import numpy as np
 
@@ -39,7 +40,6 @@ class BlockAllocator:
 
     def __init__(self, flash: FlashArray) -> None:
         self.flash = flash
-        self._free: Deque[int] = deque(range(flash.blocks))
         self._active: Dict[int, Optional[int]] = {Region.HOT: None, Region.COLD: None}
         #: Free pages left in each region's active block (hot-path
         #: counter, saves two array reads per page allocation).
@@ -49,6 +49,25 @@ class BlockAllocator:
         self.block_region = np.full(flash.blocks, -1, dtype=np.int8)
         #: Live block count per region (indexed by Region.*).
         self.region_blocks: Dict[int, int] = {Region.HOT: 0, Region.COLD: 0}
+        self._init_pool(flash.blocks)
+
+    # -- pool storage (overridden by WearAwareAllocator) -----------------------
+
+    def _init_pool(self, blocks: int) -> None:
+        self._free: Deque[int] = deque(range(blocks))
+
+    def _pool_members(self) -> Iterable[int]:
+        """Iterable over the free pool (invariant checks only)."""
+        return self._free
+
+    def _pool_add(self, block: int) -> None:
+        self._free.append(block)
+
+    def _pool_take(self) -> int:
+        """Remove and return the next free block (FIFO order)."""
+        if not self._free:
+            self._no_free()
+        return self._free.popleft()
 
     # -- pool state ------------------------------------------------------------
 
@@ -57,7 +76,7 @@ class BlockAllocator:
         return len(self._free)
 
     def free_fraction(self) -> float:
-        return len(self._free) / self.flash.blocks
+        return self.free_blocks / self.flash.blocks
 
     def is_active(self, block: int) -> bool:
         return block in (self._active[Region.HOT], self._active[Region.COLD])
@@ -87,6 +106,29 @@ class BlockAllocator:
             self._active[region] = None  # full blocks leave the active slot
         return ppn
 
+    def allocate_run(self, region: int, max_pages: int, now_us: float = 0.0) -> Tuple[int, int]:
+        """Program up to ``max_pages`` consecutive pages in one sweep.
+
+        Bulk counterpart of :meth:`allocate_page`: fills the region's
+        active block with one :meth:`FlashArray.program_run` instead of
+        per-page calls.  Returns ``(first_ppn, count)`` where ``count``
+        is capped by the active block's remaining space — callers loop
+        until their request is fully placed (pulling a fresh block costs
+        one extra iteration).
+        """
+        block = self._active[region]
+        if block is None:
+            block = self._pull_free(region)
+        count = self._active_free[region]
+        if max_pages < count:
+            count = max_pages
+        first_ppn = self.flash.program_run(block, count, now_us)
+        left = self._active_free[region] - count
+        self._active_free[region] = left
+        if left == 0:
+            self._active[region] = None
+        return first_ppn, count
+
     def release_block(self, block: int) -> None:
         """Return an erased block to the free pool (after GC erase)."""
         if self.is_active(block):
@@ -95,14 +137,12 @@ class BlockAllocator:
         if region != -1:
             self.region_blocks[region] -= 1
         self.block_region[block] = -1
-        self._free.append(block)
+        self._pool_add(block)
 
-    def _pull_free(self, region: int) -> int:  # overridden by WearAwareAllocator
-        return self._take_block(0, region) if self._free else self._no_free()
+    def _pull_free(self, region: int) -> int:
+        return self._bind_active(self._pool_take(), region)
 
-    def _take_block(self, index: int, region: int) -> int:
-        block = self._free[index]
-        del self._free[index]
+    def _bind_active(self, block: int, region: int) -> int:
         self.block_region[block] = region
         self.region_blocks[region] += 1
         self._active[region] = block
@@ -123,7 +163,9 @@ class BlockAllocator:
 
         Eligible = fully written, not an active write block, and holding
         at least one invalid page (erasing a fully-valid block reclaims
-        nothing).
+        nothing).  This is the O(blocks) reference derivation; the hot
+        path keeps the same set incrementally in a
+        :class:`repro.ftl.gc.index.VictimIndex`.
         """
         flash = self.flash
         mask = (flash.write_ptr == flash.pages_per_block) & (flash.invalid_count > 0)
@@ -136,9 +178,12 @@ class BlockAllocator:
     # -- invariants ---------------------------------------------------------------
 
     def check_invariants(self) -> None:
-        free = set(self._free)
-        if len(free) != len(self._free):
+        members = list(self._pool_members())
+        free = set(members)
+        if len(free) != len(members):
             raise AssertionError("duplicate block in free pool")
+        if len(free) != self.free_blocks:
+            raise AssertionError("free pool size desynced from free_blocks")
         for block in free:
             if self.flash.write_ptr[block] != 0:
                 raise AssertionError(f"free block {block} has programmed pages")
@@ -170,13 +215,46 @@ class WearAwareAllocator(BlockAllocator):
     New active blocks are drawn least-worn-first instead of FIFO, so
     erase cycles spread evenly across the array — the wear-leveling
     concern the paper's victim-selection discussion raises against pure
-    greedy GC.  O(free blocks) per block pull, amortized over
-    ``pages_per_block`` page allocations.
+    greedy GC.  The pool is a min-heap keyed by ``(erase_count, block)``
+    with lazy invalidation: a popped entry whose erase count no longer
+    matches the block's current counter (or whose block already left the
+    pool) is stale and discarded, so a pull is O(log free-blocks)
+    amortized instead of the seed's O(free-blocks) min-scan.
     """
 
-    def _pull_free(self, region: int) -> int:
-        if not self._free:
-            self._no_free()
+    def _init_pool(self, blocks: int) -> None:
+        self._free_set: Set[int] = set(range(blocks))
         erase_count = self.flash.erase_count
-        index = min(range(len(self._free)), key=lambda i: erase_count[self._free[i]])
-        return self._take_block(index, region)
+        self._heap: List[Tuple[int, int]] = [
+            (int(erase_count[block]), block) for block in range(blocks)
+        ]
+        heapq.heapify(self._heap)
+
+    def _pool_members(self) -> Iterable[int]:
+        return self._free_set
+
+    def _pool_add(self, block: int) -> None:
+        self._free_set.add(block)
+        heapq.heappush(self._heap, (int(self.flash.erase_count[block]), block))
+
+    def _pool_take(self) -> int:
+        erase_count = self.flash.erase_count
+        free_set = self._free_set
+        heap = self._heap
+        while heap:
+            count, block = heapq.heappop(heap)
+            if block not in free_set:
+                continue  # stale: block already left the pool
+            current = int(erase_count[block])
+            if count != current:
+                # Erase count moved while pooled (e.g. a direct erase of
+                # a free block): re-file under the fresh key.
+                heapq.heappush(heap, (current, block))
+                continue
+            free_set.discard(block)
+            return block
+        self._no_free()
+
+    @property
+    def free_blocks(self) -> int:
+        return len(self._free_set)

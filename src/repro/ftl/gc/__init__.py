@@ -10,6 +10,7 @@ from repro.ftl.gc.random_policy import RandomPolicy
 from repro.ftl.gc.greedy import GreedyPolicy
 from repro.ftl.gc.cost_benefit import CostBenefitPolicy
 from repro.ftl.gc.region_aware import RegionAwarePolicy
+from repro.ftl.gc.index import VictimIndex
 
 POLICIES = {
     "random": RandomPolicy,
@@ -34,6 +35,7 @@ def make_policy(name: str, seed: int = 0) -> VictimPolicy:
 
 __all__ = [
     "VictimPolicy",
+    "VictimIndex",
     "RandomPolicy",
     "GreedyPolicy",
     "CostBenefitPolicy",

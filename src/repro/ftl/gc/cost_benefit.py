@@ -28,11 +28,65 @@ class CostBenefitPolicy(VictimPolicy):
         indices = np.nonzero(candidates)[0]
         if indices.size == 0:
             return None
+        score = self._scores(flash, indices, now_us)
+        return int(indices[int(score.argmax())])
+
+    @staticmethod
+    def _scores(flash: FlashArray, indices: np.ndarray, now_us: float) -> np.ndarray:
+        """Benefit/cost scores for candidate ``indices`` (elementwise,
+        so any partition of the candidate set scores identically)."""
         ppb = flash.pages_per_block
         valid = flash.valid_count[indices].astype(np.float64)
         u = valid / ppb
         age = now_us - flash.last_write_us[indices]
         # u == 0 means a fully-invalid block: infinite benefit, zero cost.
         with np.errstate(divide="ignore"):
-            score = np.where(u > 0, (1.0 - u) / (2.0 * u) * np.maximum(age, 1.0), np.inf)
-        return int(indices[int(score.argmax())])
+            return np.where(u > 0, (1.0 - u) / (2.0 * u) * np.maximum(age, 1.0), np.inf)
+
+    def select_indexed(
+        self,
+        flash: FlashArray,
+        index,
+        now_us: float,
+        region_arr: Optional[np.ndarray] = None,
+        region: int = -1,
+    ) -> Optional[int]:
+        """Bucket-iterating scan with a score-bound early exit.
+
+        Candidates are visited in descending invalid-count order.  All
+        blocks in one bucket share ``u`` (full blocks: valid = ppb -
+        invalid), and ``last_write_us >= 0`` bounds every age by
+        ``now_us``, so ``(1-u)/(2u) * max(now_us, 1)`` caps everything a
+        bucket — and, since ``(1-u)/(2u)`` grows with the invalid count,
+        every *later* bucket — can still score.  Once the best seen
+        strictly beats that cap, no remaining candidate can win and the
+        scan stops.  Scores reuse the exact elementwise formula of the
+        masked path, so the winner (ties: lowest block id, as argmax
+        over ascending indices) is bit-identical.
+        """
+        ppb = flash.pages_per_block
+        best_score = -np.inf
+        best_block = -1
+        age_cap = now_us if now_us > 1.0 else 1.0
+        for inv, bucket in index.iter_buckets():
+            if best_block >= 0 and inv < ppb:
+                u_floor = (ppb - inv) / ppb
+                if best_score > (1.0 - u_floor) / (2.0 * u_floor) * age_cap:
+                    break
+            if region_arr is None:
+                blocks = bucket
+            else:
+                blocks = [b for b in bucket if region_arr[b] == region]
+                if not blocks:
+                    continue
+            arr = np.asarray(blocks, dtype=np.int64)
+            score = self._scores(flash, arr, now_us)
+            top = float(score.max())
+            if top > best_score:
+                best_score = top
+                best_block = int(arr[score == top].min())
+            elif top == best_score and best_block >= 0:
+                contender = int(arr[score == top].min())
+                if contender < best_block:
+                    best_block = contender
+        return best_block if best_block >= 0 else None

@@ -20,13 +20,42 @@ class GreedyPolicy(VictimPolicy):
 
     name = "greedy"
 
+    def __init__(self) -> None:
+        #: reusable scores buffer for the reference/fallback path, so a
+        #: masked argmax never allocates a fresh array per call.
+        self._scratch: Optional[np.ndarray] = None
+
     def select(
         self, flash: FlashArray, candidates: np.ndarray, now_us: float
     ) -> Optional[int]:
-        if not candidates.any():
-            return None
         # Masked argmax without copying the counter array: invalid pages
-        # are >= 1 for every candidate, so zeroing non-candidates suffices.
-        scores = np.where(candidates, flash.invalid_count, 0)
-        block = int(scores.argmax())
+        # are >= 1 for every candidate, so zeroing non-candidates
+        # suffices.  The multiply lands in a reused scratch buffer.
+        scratch = self._scratch
+        if scratch is None or scratch.shape != candidates.shape:
+            self._scratch = scratch = np.empty_like(flash.invalid_count)
+        np.multiply(flash.invalid_count, candidates, out=scratch)
+        block = int(scratch.argmax())
         return block if candidates[block] else None
+
+    def select_indexed(
+        self,
+        flash: FlashArray,
+        index,
+        now_us: float,
+        region_arr: Optional[np.ndarray] = None,
+        region: int = -1,
+    ) -> Optional[int]:
+        if region_arr is None:
+            block = index.top_block()
+            return block if block >= 0 else None
+        # Region-filtered: highest bucket containing a matching block,
+        # lowest id within it — identical to argmax over the masked scan.
+        for _inv, bucket in index.iter_buckets():
+            best = -1
+            for block in bucket:
+                if region_arr[block] == region and (best < 0 or block < best):
+                    best = block
+            if best >= 0:
+                return best
+        return None

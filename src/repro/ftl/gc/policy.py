@@ -1,4 +1,17 @@
-"""Victim-selection policy interface."""
+"""Victim-selection policy interface.
+
+Policies expose two entry points with identical semantics:
+
+* :meth:`VictimPolicy.select` — the reference path: a boolean
+  eligibility mask plus a full-array scan.  O(blocks) per call, kept as
+  the oracle the property tests compare against.
+* :meth:`VictimPolicy.select_indexed` — the hot path: selection through
+  an incrementally-maintained :class:`repro.ftl.gc.index.VictimIndex`,
+  touching only actual candidates.  Every built-in policy overrides it
+  with an implementation bit-identical to its masked scan (same victim,
+  same tie-breaks, same RNG stream); the base-class default falls back
+  to materializing the mask so custom policies keep working unchanged.
+"""
 
 from __future__ import annotations
 
@@ -26,6 +39,28 @@ class VictimPolicy(abc.ABC):
         self, flash: FlashArray, candidates: np.ndarray, now_us: float
     ) -> Optional[int]:
         """Pick a victim block, or ``None`` if ``candidates`` is empty."""
+
+    def select_indexed(
+        self,
+        flash: FlashArray,
+        index,
+        now_us: float,
+        region_arr: Optional[np.ndarray] = None,
+        region: int = -1,
+    ) -> Optional[int]:
+        """Pick a victim through a :class:`VictimIndex`.
+
+        ``region_arr``/``region`` optionally restrict the candidate set
+        to blocks whose entry in ``region_arr`` equals ``region`` (the
+        region-aware wrapper's hot-first filter).  The default
+        implementation rebuilds the eligibility mask from the index and
+        delegates to :meth:`select` — correct for any policy, O(blocks);
+        the built-in policies override it with O(candidates) paths.
+        """
+        mask = index.candidates_mask()
+        if region_arr is not None:
+            mask &= region_arr == region
+        return self.select(flash, mask, now_us)
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"{type(self).__name__}()"

@@ -30,3 +30,20 @@ class RandomPolicy(VictimPolicy):
         if indices.size == 0:
             return None
         return int(self._rng.choice(indices))
+
+    def select_indexed(
+        self,
+        flash: FlashArray,
+        index,
+        now_us: float,
+        region_arr: Optional[np.ndarray] = None,
+        region: int = -1,
+    ) -> Optional[int]:
+        # Same ascending int64 candidate array as np.nonzero on the
+        # oracle mask, so the seeded RNG stream draws identical victims.
+        indices = index.sorted_candidates()
+        if region_arr is not None and indices.size:
+            indices = indices[region_arr[indices] == region]
+        if indices.size == 0:
+            return None
+        return int(self._rng.choice(indices))

@@ -34,3 +34,24 @@ class RegionAwarePolicy(VictimPolicy):
         if hot_only.any():
             return self.base.select(flash, hot_only, now_us)
         return self.base.select(flash, candidates, now_us)
+
+    def select_indexed(
+        self,
+        flash: FlashArray,
+        index,
+        now_us: float,
+        region_arr: Optional[np.ndarray] = None,
+        region: int = -1,
+    ) -> Optional[int]:
+        # Hot-first through the index: the base policy filters candidate
+        # buckets by region tag, so no O(blocks) mask is materialized.
+        # Every built-in base policy returns a victim whenever the
+        # filtered set is nonempty, matching the mask path's any() gate
+        # (and drawing from the RNG only when it would have).
+        victim = self.base.select_indexed(
+            flash, index, now_us,
+            region_arr=self.allocator.block_region, region=Region.HOT,
+        )
+        if victim is not None:
+            return victim
+        return self.base.select_indexed(flash, index, now_us)

@@ -46,6 +46,16 @@ class MappingTable:
         """PPN currently holding ``lpn``, or ``None`` if never written."""
         return self._fwd.get(lpn)
 
+    def mapped_count(self, lpn: int, npages: int) -> int:
+        """How many LPNs of the extent ``[lpn, lpn + npages)`` are mapped.
+
+        One bulk membership sweep (C-level ``map`` over the dict) — the
+        read-request path's replacement for per-page :meth:`lookup`.
+        """
+        if npages <= 0:
+            return 0
+        return sum(map(self._fwd.__contains__, range(lpn, lpn + npages)))
+
     def is_mapped(self, ppn: int) -> bool:
         return ppn in self._rev
 

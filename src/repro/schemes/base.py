@@ -31,6 +31,7 @@ from repro.flash.chip import FlashArray, PageState
 from repro.flash.timing import FlashTiming
 from repro.ftl.allocator import BlockAllocator, Region, WearAwareAllocator
 from repro.ftl.gc import make_policy
+from repro.ftl.gc.index import VictimIndex
 from repro.ftl.gc.policy import VictimPolicy
 from repro.ftl.mapping import MappingTable
 from repro.ftl.wear import WearStats, wear_stats
@@ -82,6 +83,12 @@ class FTLScheme(abc.ABC):
 
     name: str = "abstract"
 
+    #: Schemes whose foreground write path is "always program into the
+    #: hot region" (no per-page hashing) set this to take the bulk
+    #: write_request fast path: contiguous pages program in block-sized
+    #: runs with one mapping-bind sweep instead of a per-page call chain.
+    bulk_user_writes: bool = False
+
     def __init__(
         self,
         config: SSDConfig,
@@ -101,6 +108,10 @@ class FTLScheme(abc.ABC):
         #: content fingerprint of every live physical page.
         self.page_fp: Dict[int, int] = {}
         self.policy = policy if policy is not None else make_policy("greedy")
+        #: Incremental GC candidate index; kept in sync by the flash
+        #: array's mutation hooks from here on.
+        self.victim_index = VictimIndex(self.flash)
+        self.flash.victim_index = self.victim_index
         self.gc_counters = GCCounters()
         self.io_counters = IOCounters()
         # Integer free-block thresholds equivalent to the configured
@@ -113,24 +124,64 @@ class FTLScheme(abc.ABC):
 
     def write_request(self, lpn: int, fps: Sequence[int], now_us: float) -> WriteOutcome:
         """Apply an n-page write; returns the aggregate outcome."""
-        programs = 0
-        hashed = 0
-        hits = 0
         # One bulk ndarray -> list conversion instead of one int() boxing
         # per page (fps is a view into the trace's flat fingerprint array).
-        values = fps.tolist() if hasattr(fps, "tolist") else fps
-        write_page = self.write_page
-        for offset, fp in enumerate(values):
-            out = write_page(lpn + offset, fp, now_us)
-            programs += out.programs
-            hashed += out.hashed_pages
-            hits += out.dedup_hits
+        values = fps.tolist() if hasattr(fps, "tolist") else list(fps)
+        if self.bulk_user_writes:
+            programs = self._bulk_program_hot(lpn, values, now_us)
+            hashed = 0
+            hits = 0
+        else:
+            programs = 0
+            hashed = 0
+            hits = 0
+            write_page = self.write_page
+            for offset, fp in enumerate(values):
+                out = write_page(lpn + offset, fp, now_us)
+                programs += out.programs
+                hashed += out.hashed_pages
+                hits += out.dedup_hits
         io = self.io_counters
         io.write_requests += 1
         io.logical_pages_written += len(values)
         io.user_pages_programmed += programs
         io.inline_dedup_hits += hits
         return WriteOutcome(programs=programs, hashed_pages=hashed, dedup_hits=hits)
+
+    def _bulk_program_hot(self, lpn: int, values: Sequence[int], now_us: float) -> int:
+        """Program ``values`` into the hot region in block-sized runs.
+
+        The fast path for schemes without foreground hashing: the flash
+        programs land as one :meth:`BlockAllocator.allocate_run` sweep
+        per active-block stretch, then a single loop binds mappings,
+        records fingerprints and releases overwritten pages — the same
+        state transitions as per-page :meth:`write_page` calls, minus
+        the per-page call chain and NumPy scalar traffic.
+        """
+        n = len(values)
+        self._note_user_writes(lpn, n)
+        allocator = self.allocator
+        bind = self.mapping.bind
+        page_fp = self.page_fp
+        peaks = self.tracker.peaks
+        release_if_dead = self._release_if_dead
+        done = 0
+        while done < n:
+            base, count = allocator.allocate_run(Region.HOT, n - done, now_us)
+            for i in range(count):
+                ppn = base + i
+                old = bind(lpn + done + i, ppn)
+                page_fp[ppn] = values[done + i]
+                if peaks.get(ppn, 0) < 1:  # tracker.observe(ppn, 1), inlined
+                    peaks[ppn] = 1
+                if old is not None and old != ppn:
+                    release_if_dead(old)
+            done += count
+        return n
+
+    def _note_user_writes(self, lpn: int, npages: int) -> None:
+        """Hook for per-LPN bookkeeping on the bulk write path (the
+        spatial hot/cold scheme counts write frequency here)."""
 
     def destage(self, pages: Sequence[Tuple[int, int]], now_us: float) -> WriteOutcome:
         """Apply write-buffer destages: ``(lpn, fp)`` pairs, possibly
@@ -153,11 +204,7 @@ class FTLScheme(abc.ABC):
         """Apply an n-page read; returns pages that are actually mapped."""
         self.io_counters.read_requests += 1
         self.io_counters.pages_read += npages
-        mapped = 0
-        for offset in range(npages):
-            if self.mapping.lookup(lpn + offset) is not None:
-                mapped += 1
-        return mapped
+        return self.mapping.mapped_count(lpn, npages)
 
     def trim_request(self, lpn: int, npages: int, now_us: float) -> int:
         """Drop mappings for an extent (file delete); returns pages trimmed."""
@@ -196,8 +243,8 @@ class FTLScheme(abc.ABC):
             and burst < self.config.gc_burst_blocks
         ):
             burst += 1
-            victim = self.policy.select(
-                self.flash, self.allocator.victim_candidates_mask(), now_us + duration
+            victim = self.policy.select_indexed(
+                self.flash, self.victim_index, now_us + duration
             )
             if victim is None:
                 break
@@ -213,9 +260,7 @@ class FTLScheme(abc.ABC):
         a multi-block blocking burst.  Returns 0.0 when no victim is
         eligible.
         """
-        victim = self.policy.select(
-            self.flash, self.allocator.victim_candidates_mask(), now_us
-        )
+        victim = self.policy.select_indexed(self.flash, self.victim_index, now_us)
         if victim is None:
             return 0.0
         return self.collect_block(victim, now_us).duration_us
@@ -325,6 +370,7 @@ class FTLScheme(abc.ABC):
         self.allocator.check_invariants()
         self.mapping.check_invariants()
         self.index.check_invariants()
+        self.victim_index.check_consistency(self.allocator)
         for ppn in self.mapping.mapped_ppns():
             if self.flash.state_of(ppn) != PageState.VALID:
                 raise AssertionError(f"mapped ppn {ppn} not VALID in flash")

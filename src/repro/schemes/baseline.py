@@ -17,6 +17,7 @@ class BaselineScheme(FTLScheme):
     """No dedup: one program per logical page write."""
 
     name = "baseline"
+    bulk_user_writes = True  # plain hot-region programs: bulk-run eligible
 
     def write_page(self, lpn: int, fp: int, now_us: float) -> WriteOutcome:
         self._program_new(lpn, fp, Region.HOT, now_us)

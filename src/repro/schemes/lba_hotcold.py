@@ -31,6 +31,10 @@ class LBAHotColdScheme(FTLScheme):
     """Baseline + spatial (write-frequency) hot/cold separation."""
 
     name = "lba-hotcold"
+    #: Foreground writes always program hot (heat only matters at GC
+    #: migration time), so the bulk fast path applies; the per-LPN write
+    #: counting moves into :meth:`_note_user_writes`.
+    bulk_user_writes = True
 
     def __init__(
         self,
@@ -50,6 +54,11 @@ class LBAHotColdScheme(FTLScheme):
         self.lpn_writes[lpn] += 1
         self._program_new(lpn, fp, Region.HOT, now_us)
         return _ONE_PROGRAM
+
+    def _note_user_writes(self, lpn: int, npages: int) -> None:
+        lpn_writes = self.lpn_writes
+        for offset in range(npages):
+            lpn_writes[lpn + offset] += 1
 
     def trim_request(self, lpn: int, npages: int, now_us: float) -> int:
         for offset in range(npages):

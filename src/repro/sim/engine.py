@@ -106,9 +106,10 @@ class Simulator:
 
     def step(self) -> bool:
         """Process one event; return ``False`` when the queue is empty."""
-        if len(self.queue) == 0:
+        try:
+            event = self.queue.pop()
+        except IndexError:
             return False
-        event = self.queue.pop()
         if event.time < self.now:
             raise SimulationError(
                 f"event time {event.time} precedes clock {self.now}"
@@ -122,6 +123,11 @@ class Simulator:
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
         """Drain the queue, optionally stopping at ``until`` microseconds
         or after ``max_events`` callbacks."""
+        if until is None and max_events is None:
+            # Hot path for full replays: no per-event peek/limit checks.
+            while self.step():
+                pass
+            return
         processed = 0
         while len(self.queue) > 0:
             next_time = self.queue.peek_time()

@@ -26,7 +26,7 @@ class EventKind(enum.IntEnum):
     GENERIC = 3          # user-scheduled callback
 
 
-@dataclass(order=True)
+@dataclass(order=True, slots=True)
 class Event:
     """A single scheduled occurrence in the simulation.
 

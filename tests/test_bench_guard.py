@@ -37,8 +37,30 @@ def guard_module():
 def test_baseline_snapshot_is_committed_and_comparable(guard_module):
     baseline = json.loads(BASELINE.read_text())
     assert baseline["schema"] == guard_module.SNAPSHOT_SCHEMA
-    assert set(baseline["replay"]) == {"baseline", "inline-dedupe", "cagc"}
+    assert set(baseline["replay"]) == {
+        "baseline",
+        "inline-dedupe",
+        "cagc",
+        "baseline@8x",
+        "cagc@8x",
+    }
     assert baseline["replay_requests"] == 5_000
+    assert all("ops" in case for case in baseline["replay"].values())
+
+
+def test_scaled_geometry_per_op_cost_stays_flat():
+    # The committed snapshot must show per-op replay cost within 1.5x of
+    # the default geometry at 8x the blocks — the incremental victim
+    # index keeps greedy selection O(1) instead of O(blocks), so the
+    # scale jump cannot blow up the per-op cost.
+    baseline = json.loads(BASELINE.read_text())
+    for scheme in ("baseline", "cagc"):
+        default_us = baseline["replay"][scheme]["median_us_per_op"]
+        scaled_us = baseline["replay"][f"{scheme}@8x"]["median_us_per_op"]
+        assert scaled_us <= 1.5 * default_us, (
+            f"{scheme}: {scaled_us:.1f} us/op at 8x blocks vs "
+            f"{default_us:.1f} at default geometry"
+        )
 
 
 def test_hot_loop_within_threshold_of_baseline(guard_module):

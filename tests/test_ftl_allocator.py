@@ -4,7 +4,12 @@ import pytest
 
 from repro.config import GeometryConfig
 from repro.flash.chip import FlashArray
-from repro.ftl.allocator import BlockAllocator, DeviceFullError, Region
+from repro.ftl.allocator import (
+    BlockAllocator,
+    DeviceFullError,
+    Region,
+    WearAwareAllocator,
+)
 
 
 @pytest.fixture
@@ -118,3 +123,85 @@ class TestInvariants:
                     flash.erase(block)
                     alloc.release_block(block)
             alloc.check_invariants()
+
+
+class TestAllocateRun:
+    def test_run_matches_per_page_ppns(self, alloc):
+        base, count = alloc.allocate_run(Region.HOT, 3)
+        assert (base, count) == (0, 3)
+        assert alloc.flash.total_programs == 3
+        assert alloc.flash.valid_count[0] == 3
+        alloc.check_invariants()
+
+    def test_run_capped_by_active_block_space(self, alloc):
+        alloc.allocate_page(Region.HOT)
+        base, count = alloc.allocate_run(Region.HOT, 10)
+        assert (base, count) == (1, 3)  # 3 pages left in block 0
+        # Block 0 is now full and retired from the active slot.
+        assert alloc.active_block(Region.HOT) is None
+        base, count = alloc.allocate_run(Region.HOT, 10)
+        assert count == 4  # fresh block, full run
+        alloc.check_invariants()
+
+    def test_run_tracks_write_time(self, alloc, flash):
+        alloc.allocate_run(Region.HOT, 2, now_us=55.0)
+        assert flash.last_write_us[0] == 55.0
+
+    def test_run_raises_when_pool_exhausted(self, alloc):
+        for _ in range(6):
+            alloc.allocate_run(Region.HOT, 4)
+        with pytest.raises(DeviceFullError):
+            alloc.allocate_run(Region.HOT, 1)
+
+
+class TestWearAwareHeapPool:
+    def test_heap_respects_preexisting_wear(self, flash):
+        # Blocks 0..3 pre-worn before the allocator exists; the heap
+        # must be seeded from the live erase counters, not zeros.
+        for block in range(4):
+            flash.erase(block)
+        alloc = WearAwareAllocator(flash)
+        first = alloc.flash.geometry.ppn_to_block(alloc.allocate_page(Region.HOT))
+        assert first == 4  # least worn, lowest id
+        alloc.check_invariants()
+
+    def test_ties_break_to_lowest_block_id(self, flash):
+        alloc = WearAwareAllocator(flash)
+        pulled = []
+        for _ in range(3):
+            ppn = alloc.allocate_page(Region.HOT)
+            pulled.append(flash.geometry.ppn_to_block(ppn))
+            alloc.allocate_run(Region.HOT, 3)  # finish the block
+        assert pulled == [0, 1, 2]
+
+    def test_released_blocks_requeue_under_new_wear(self, flash):
+        alloc = WearAwareAllocator(flash)
+        # Fill and reclaim block 0 so its erase count rises to 1.
+        ppns = [alloc.allocate_page(Region.HOT) for _ in range(4)]
+        for ppn in ppns:
+            flash.invalidate(ppn)
+        flash.erase(0)
+        alloc.release_block(0)
+        # The next pulls must prefer the never-erased blocks 1..5 first.
+        order = []
+        while alloc.free_blocks:
+            block = alloc._pull_free(Region.HOT)
+            order.append(block)
+            alloc.allocate_run(Region.HOT, 4)  # consume it fully
+        assert order == [1, 2, 3, 4, 5, 0]
+
+    def test_stale_heap_entry_refiled_after_external_erase(self, flash):
+        alloc = WearAwareAllocator(flash)
+        # Erasing a *free* block bumps its counter while pooled; the
+        # lazily-invalidated entry must be re-filed, not lost.
+        flash.erase(0)
+        pulls = [alloc._pull_free(Region.HOT) for _ in range(6)]
+        assert sorted(pulls) == [0, 1, 2, 3, 4, 5]
+        assert pulls[-1] == 0  # the worn block comes out last
+        alloc.check_invariants()
+
+    def test_invariant_checks_cover_set_pool(self, flash):
+        alloc = WearAwareAllocator(flash)
+        alloc.allocate_page(Region.HOT)
+        alloc.check_invariants()
+        assert alloc.free_blocks == 5

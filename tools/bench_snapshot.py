@@ -36,11 +36,22 @@ from repro.schemes import make_scheme  # noqa: E402
 from repro.workloads.fiu import build_fiu_trace  # noqa: E402
 
 #: Bump when the benchmark workload itself changes (snapshots are then
-#: incomparable and the guard refuses to compare them).
-SNAPSHOT_SCHEMA = 1
+#: incomparable and the guard refuses to compare them).  Schema 2 adds
+#: the scaled-geometry replay cases (``<scheme>@8x``) and a per-case
+#: ``ops`` count so us/op is computable without global constants.
+SNAPSHOT_SCHEMA = 2
 
 SCHEMES = ("baseline", "inline-dedupe", "cagc")
+#: Schemes replayed at the scaled geometry (the two the victim-index
+#: acceptance criteria pin down; inline-dedupe adds nothing GC-side).
+SCALED_SCHEMES = ("baseline", "cagc")
 REPLAY_REQUESTS = 5_000
+#: Scaled geometry: 8x the default block count at the same
+#: pages-per-block.  A selection pass that is O(blocks) per GC would
+#: show up as a super-linear us/op blowup here; the incremental victim
+#: index keeps per-op replay cost roughly flat across the scale jump.
+SCALED_BLOCKS_FACTOR = 8
+DEFAULT_BLOCKS = 128
 TRACE_GEN_REQUESTS = 20_000
 DEFAULT_OUT = REPO_ROOT / "BENCH_throughput.json"
 
@@ -56,13 +67,14 @@ def _median_us_per_op(fn: Callable[[], object], ops: int, rounds: int) -> Dict[s
         "median_us_per_op": median * 1e6 / ops,
         "median_wall_s": median,
         "min_wall_s": min(walls),
+        "ops": ops,
         "rounds": rounds,
     }
 
 
 def take_snapshot(rounds: int = 5) -> dict:
     """Run every benchmark case and return the snapshot document."""
-    cfg = small_config(blocks=128, pages_per_block=32)
+    cfg = small_config(blocks=DEFAULT_BLOCKS, pages_per_block=32)
     trace = build_fiu_trace("mail", cfg, n_requests=REPLAY_REQUESTS)
 
     cases: Dict[str, Dict[str, float]] = {}
@@ -76,6 +88,24 @@ def take_snapshot(rounds: int = 5) -> dict:
             rounds=rounds,
         )
 
+    # Scaled geometry: same workload shape, 8x the blocks, trace
+    # auto-sized by fill factor so GC pressure matches the default case.
+    # Fewer rounds — each round replays ~8x the requests, and the case
+    # exists to catch asymptotic blowups, not percent-level drift.
+    scaled_cfg = small_config(
+        blocks=DEFAULT_BLOCKS * SCALED_BLOCKS_FACTOR, pages_per_block=32
+    )
+    scaled_trace = build_fiu_trace("mail", scaled_cfg, n_requests=0)
+    scaled_rounds = min(rounds, 3)
+    for scheme_name in SCALED_SCHEMES:
+        label = f"{scheme_name}@{SCALED_BLOCKS_FACTOR}x"
+        run_trace(make_scheme(scheme_name, scaled_cfg), scaled_trace)
+        cases[label] = _median_us_per_op(
+            lambda: run_trace(make_scheme(scheme_name, scaled_cfg), scaled_trace),
+            ops=len(scaled_trace),
+            rounds=scaled_rounds,
+        )
+
     build_fiu_trace("web-vm", cfg, n_requests=TRACE_GEN_REQUESTS)
     trace_gen = _median_us_per_op(
         lambda: build_fiu_trace("web-vm", cfg, n_requests=TRACE_GEN_REQUESTS),
@@ -87,6 +117,7 @@ def take_snapshot(rounds: int = 5) -> dict:
         "schema": SNAPSHOT_SCHEMA,
         "benchmark": "bench_simulator_throughput",
         "replay_requests": REPLAY_REQUESTS,
+        "scaled_blocks_factor": SCALED_BLOCKS_FACTOR,
         "python": platform.python_version(),
         "replay": cases,
         "trace_generation": trace_gen,
