@@ -1,0 +1,111 @@
+#!/usr/bin/env python
+"""Differential oracle sweep: every scheme x policy over many fuzz seeds.
+
+Replays seeded adversarial traces (``repro.oracle.fuzz``) through the
+real FTL stack and the reference oracle simultaneously and fails the
+moment any combination diverges — on logical state, counters, the
+program/erase conservation laws, or a structural invariant.  This is
+the refactor safety net: run it before and after any change to the
+mapping/GC/dedup layers.
+
+Exit status: 0 = all combinations agree on all seeds, 1 = at least one
+divergence (each is printed with scheme/policy/seed context).
+
+Usage::
+
+    PYTHONPATH=src python scripts/check_oracle.py                 # 100 seeds
+    PYTHONPATH=src python scripts/check_oracle.py --seeds 20
+    PYTHONPATH=src python scripts/check_oracle.py --schemes cagc --shrink
+
+Also wired into pytest as the opt-in ``oracle`` marker::
+
+    PYTHONPATH=src python -m pytest -q -m oracle
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.oracle import (  # noqa: E402
+    ALL_POLICIES,
+    ALL_SCHEMES,
+    diff_trace,
+    fuzz_config,
+    fuzz_trace,
+    make_divergence_predicate,
+    shrink_trace,
+)
+from repro.oracle.fuzz import profile_for_seed  # noqa: E402
+from repro.oracle.shrink import save_regression  # noqa: E402
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--seeds", type=int, default=100, help="fuzz seeds per combo")
+    parser.add_argument("--requests", type=int, default=220, help="requests per trace")
+    parser.add_argument(
+        "--check-every",
+        type=int,
+        default=2,
+        help="full-state snapshot compare cadence (1 = every request)",
+    )
+    parser.add_argument(
+        "--schemes", nargs="+", default=list(ALL_SCHEMES), choices=ALL_SCHEMES
+    )
+    parser.add_argument(
+        "--policies", nargs="+", default=list(ALL_POLICIES), choices=ALL_POLICIES
+    )
+    parser.add_argument(
+        "--shrink",
+        action="store_true",
+        help="delta-debug each diverging trace and save it under tests/regress/",
+    )
+    parser.add_argument("--regress-dir", default="tests/regress")
+    args = parser.parse_args(argv)
+
+    config = fuzz_config()
+    start = time.time()
+    runs = 0
+    failures = 0
+    for seed in range(args.seeds):
+        trace = fuzz_trace(seed, config, n_requests=args.requests)
+        for scheme in args.schemes:
+            for policy in args.policies:
+                runs += 1
+                divergence = diff_trace(
+                    trace,
+                    scheme=scheme,
+                    policy=policy,
+                    config=config,
+                    check_every=args.check_every,
+                )
+                if divergence is None:
+                    continue
+                failures += 1
+                print(f"seed {seed} ({profile_for_seed(seed)}): {divergence}")
+                if args.shrink:
+                    minimal = shrink_trace(
+                        trace,
+                        make_divergence_predicate(scheme, policy, config),
+                        name=f"fuzz-s{seed}-{scheme}-{policy}",
+                    )
+                    path = save_regression(
+                        minimal, args.regress_dir, f"fuzz-s{seed}-{scheme}-{policy}"
+                    )
+                    print(f"  shrunk {len(trace)} -> {len(minimal)} requests: {path}")
+    wall = time.time() - start
+    combos = len(args.schemes) * len(args.policies)
+    print(
+        f"oracle sweep: {args.seeds} seeds x {combos} scheme/policy combos = "
+        f"{runs} differential runs, {failures} divergences ({wall:.1f}s)"
+    )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

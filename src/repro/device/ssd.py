@@ -26,7 +26,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, Optional, Tuple
+from typing import Callable, Deque, Optional, Tuple
 
 import numpy as np
 
@@ -105,6 +105,11 @@ class SSD:
 
         #: free-space / GC-activity time series (sampled at GC events).
         self.timeline = TimelineRecorder()
+        #: Optional callback fired with this SSD after every GC episode
+        #: (foreground burst or idle chunk).  The differential-oracle
+        #: harness hangs :func:`repro.oracle.invariants.check_all` here
+        #: so structural drift is caught at the GC that introduced it.
+        self.gc_hook: Optional[Callable[["SSD"], None]] = None
 
     # ------------------------------------------------------------------ replay
 
@@ -130,6 +135,10 @@ class SSD:
             simulated_us=self.sim.now,
             buffer=self.buffer.stats if self.buffer is not None else None,
         )
+
+    def state_snapshot(self):
+        """The scheme's comparable state (see ``FTLScheme.state_snapshot``)."""
+        return self.scheme.state_snapshot()
 
     # ------------------------------------------------------------------ events
 
@@ -180,6 +189,8 @@ class SSD:
     def _on_bg_gc_done(self, event: Event) -> None:
         self._busy = False
         self._sample_gc_state(self.sim.now)
+        if self.gc_hook is not None:
+            self.gc_hook(self)
         if self._queue:
             self._start_service()
         else:
@@ -230,6 +241,8 @@ class SSD:
             gc_us = self.scheme.run_gc(now) if self.scheme.needs_gc() else 0.0
         if gc_us > 0.0:
             self._sample_gc_state(now + gc_us)
+            if self.gc_hook is not None:
+                self.gc_hook(self)
         return gc_us
 
     def _sample_gc_state(self, time_us: float) -> None:

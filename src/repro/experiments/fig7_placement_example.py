@@ -19,6 +19,7 @@ from repro.config import GeometryConfig, SSDConfig
 from repro.core.cagc import CAGCScheme
 from repro.experiments.common import ExperimentReport
 from repro.ftl.regions import region_stats
+from repro.oracle.invariants import check_all
 
 
 def _demo_config() -> SSDConfig:
@@ -43,7 +44,7 @@ def run_placement_demo() -> dict:
             content = (lpn % 8) if shared else fp + 1_000_000
             scheme.write_page(lpn, content, float(fp))
             fp += 1
-    scheme.check_invariants()
+    check_all(scheme, accounting=False)  # write_page driver: no request counters
     stats = region_stats(scheme)
     return {
         name: {

@@ -19,6 +19,7 @@ from typing import Dict, List
 
 from repro.config import GeometryConfig, SSDConfig
 from repro.experiments.common import ExperimentReport
+from repro.oracle.invariants import check_all
 from repro.schemes import make_scheme
 from repro.workloads.filemodel import FileModelTrace
 from repro.workloads.request import OpKind
@@ -79,7 +80,7 @@ def run_scenario(scheme_name: str) -> Dict[str, int]:
     gc_writes = scheme.gc_counters.pages_migrated - promotions
     gc_erases = scheme.gc_counters.blocks_erased
     live_after_delete = len(scheme.page_fp)
-    scheme.check_invariants()
+    check_all(scheme)
     return {
         "gc_page_writes": gc_writes,
         "promotion_copies": promotions,

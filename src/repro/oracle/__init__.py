@@ -1,0 +1,49 @@
+"""Differential-oracle verification subsystem.
+
+The perf work of earlier PRs was proved correct with one-off sha256
+trajectory comparisons; this package makes that machinery reusable:
+
+* :mod:`repro.oracle.model` — :class:`OracleSSD`, a deliberately
+  simple, obviously-correct reference model of the device (dict-based
+  LPN -> content store, naive dedup refcounts, brute-force accounting);
+* :mod:`repro.oracle.diff` — the differential harness: replay any
+  trace through both the real FTL and the oracle under any
+  scheme x policy x config combination and report the first divergence;
+* :mod:`repro.oracle.fuzz` — seeded adversarial workload generator
+  (duplicate-heavy, overwrite storms, GC-pressure fills, trim churn);
+* :mod:`repro.oracle.shrink` — delta-debugging shrinker that reduces a
+  diverging trace to a minimal reproducing regression case;
+* :mod:`repro.oracle.invariants` — :func:`check_all`, the single
+  entry point for the cross-structure consistency checks.
+"""
+
+from repro.oracle.model import OracleSSD, OracleSnapshot
+from repro.oracle.diff import (
+    ALL_POLICIES,
+    ALL_SCHEMES,
+    Divergence,
+    build_scheme,
+    compare_snapshots,
+    diff_trace,
+)
+from repro.oracle.fuzz import PROFILES, fuzz_config, fuzz_trace
+from repro.oracle.invariants import check_all
+from repro.oracle.shrink import ddmin, make_divergence_predicate, shrink_trace
+
+__all__ = [
+    "OracleSSD",
+    "OracleSnapshot",
+    "ALL_POLICIES",
+    "ALL_SCHEMES",
+    "Divergence",
+    "build_scheme",
+    "compare_snapshots",
+    "diff_trace",
+    "PROFILES",
+    "fuzz_config",
+    "fuzz_trace",
+    "check_all",
+    "ddmin",
+    "make_divergence_predicate",
+    "shrink_trace",
+]

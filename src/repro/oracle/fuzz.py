@@ -1,0 +1,245 @@
+"""Seeded adversarial workload generator for the differential oracle.
+
+The FIU-style synthetic traces (``repro.workloads.synth``) model
+realistic workloads; the fuzzer deliberately does not.  Each profile is
+an attack on one corner of the FTL/GC state space the fixtures barely
+touch:
+
+* ``duplicate-heavy`` — almost every written page drawn from a handful
+  of contents, driving refcounts far past the cold threshold and
+  exercising dedup-merge/promotion chains;
+* ``overwrite-storm`` — a tiny LPN window rewritten relentlessly, so
+  blocks die almost as fast as they fill (victim-index churn);
+* ``gc-fill`` — fill the whole logical space in block-sized requests,
+  then overwrite at random: maximum GC pressure from the first write;
+* ``mixed`` — interleaved writes, reads and range trims with a
+  half-duplicate content stream (the widest state coverage per request);
+* ``trim-churn`` — write extents then trim them back out, repeatedly,
+  so mappings and refcounts are torn down as often as built.
+
+Generation is deterministic per ``(seed, profile, config geometry)``
+and device-safe by construction: the addressed LPN span is capped well
+under the logical capacity so garbage collection can always keep up.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.config import GeometryConfig, SSDConfig
+from repro.workloads.request import OpKind
+from repro.workloads.trace import Trace
+
+PROFILES = (
+    "duplicate-heavy",
+    "overwrite-storm",
+    "gc-fill",
+    "mixed",
+    "trim-churn",
+)
+
+#: Unique content ids start here (clear of every pool id).
+_UNIQUE_FP_BASE = 1 << 40
+
+#: Fraction of *physical* pages the fuzz LPN span may cover.  Low
+#: enough that a victim block always exists once the device fills, so
+#: no profile can legitimately raise DeviceFullError.
+_SPAN_FRACTION = 0.69
+
+_WRITE = int(OpKind.WRITE)
+_READ = int(OpKind.READ)
+_TRIM = int(OpKind.TRIM)
+
+#: (time, op, lpn, npages, fingerprints) — one request.
+Row = Tuple[float, int, int, int, Tuple[int, ...]]
+
+
+def fuzz_config(**overrides) -> SSDConfig:
+    """The canonical tiny fuzz device: 16 blocks x 8 pages, 2 channels.
+
+    Small enough that a few hundred requests force dozens of GC bursts;
+    regression traces under ``tests/regress/`` are recorded against
+    this geometry.  Keyword overrides (e.g. ``gc_mode="preemptive"``)
+    are passed through to :class:`SSDConfig`.
+    """
+    geometry = overrides.pop(
+        "geometry", GeometryConfig(channels=2, pages_per_block=8, blocks=16)
+    )
+    overrides.setdefault("cold_region_ratio", 0.5)
+    config = SSDConfig(geometry=geometry, **overrides)
+    config.validate()
+    return config
+
+
+def lpn_span(config: SSDConfig) -> int:
+    """LPN universe size the fuzzer addresses on ``config``."""
+    return min(
+        int(config.geometry.total_pages * _SPAN_FRACTION), config.logical_pages
+    )
+
+
+def profile_for_seed(seed: int) -> str:
+    """Deterministic profile rotation across seeds."""
+    return PROFILES[seed % len(PROFILES)]
+
+
+class _RowBuilder:
+    """Accumulates request rows with a monotonic clock and unique-fp
+    counter shared by every profile."""
+
+    def __init__(self) -> None:
+        self.rows: List[Row] = []
+        self._clock = 0.0
+        self._unique = _UNIQUE_FP_BASE
+
+    def _tick(self) -> float:
+        self._clock += 7.0
+        return self._clock
+
+    def unique_fp(self) -> int:
+        self._unique += 1
+        return self._unique
+
+    def write(self, lpn: int, fps: List[int]) -> None:
+        self.rows.append((self._tick(), _WRITE, int(lpn), len(fps), tuple(fps)))
+
+    def read(self, lpn: int, npages: int) -> None:
+        self.rows.append((self._tick(), _READ, int(lpn), int(npages), ()))
+
+    def trim(self, lpn: int, npages: int) -> None:
+        self.rows.append((self._tick(), _TRIM, int(lpn), int(npages), ()))
+
+
+def _extent(rng: np.random.Generator, span: int, max_pages: int) -> Tuple[int, int]:
+    """A random (lpn, npages) extent fully inside the span."""
+    npages = int(rng.integers(1, max_pages + 1))
+    npages = min(npages, span)
+    lpn = int(rng.integers(0, span - npages + 1))
+    return lpn, npages
+
+
+def _fps(rng: np.random.Generator, b: _RowBuilder, npages: int, pool: int, dup_prob: float) -> List[int]:
+    """Per-page fingerprints: pool duplicates with prob ``dup_prob``."""
+    return [
+        int(rng.integers(0, pool)) if rng.random() < dup_prob else b.unique_fp()
+        for _ in range(npages)
+    ]
+
+
+def _gen_duplicate_heavy(rng, b: _RowBuilder, span: int, n: int) -> None:
+    for _ in range(n):
+        if rng.random() < 0.9:
+            lpn, npages = _extent(rng, span, 4)
+            b.write(lpn, _fps(rng, b, npages, pool=6, dup_prob=0.95))
+        else:
+            b.read(*_extent(rng, span, 4))
+
+
+def _gen_overwrite_storm(rng, b: _RowBuilder, span: int, n: int) -> None:
+    window = min(12, span)
+    for _ in range(n):
+        npages = int(rng.integers(1, 3))
+        npages = min(npages, window)
+        lpn = int(rng.integers(0, window - npages + 1))
+        b.write(lpn, _fps(rng, b, npages, pool=3, dup_prob=0.5))
+
+
+def _gen_gc_fill(rng, b: _RowBuilder, span: int, n: int) -> None:
+    # Phase 1: cover the whole span in block-sized sequential writes.
+    chunk = 8
+    lpn = 0
+    while lpn < span and len(b.rows) < n // 3:
+        npages = min(chunk, span - lpn)
+        b.write(lpn, _fps(rng, b, npages, pool=16, dup_prob=0.3))
+        lpn += npages
+    # Phase 2: random overwrites until the request budget is spent.
+    while len(b.rows) < n:
+        lpn, npages = _extent(rng, span, 4)
+        b.write(lpn, _fps(rng, b, npages, pool=16, dup_prob=0.3))
+
+
+def _gen_mixed(rng, b: _RowBuilder, span: int, n: int) -> None:
+    for _ in range(n):
+        roll = rng.random()
+        if roll < 0.55:
+            lpn, npages = _extent(rng, span, 6)
+            b.write(lpn, _fps(rng, b, npages, pool=32, dup_prob=0.5))
+        elif roll < 0.80:
+            b.read(*_extent(rng, span, 6))
+        else:
+            b.trim(*_extent(rng, span, 6))
+
+
+def _gen_trim_churn(rng, b: _RowBuilder, span: int, n: int) -> None:
+    while len(b.rows) < n:
+        lpn, npages = _extent(rng, span, 8)
+        npages = max(npages, min(4, span))
+        lpn = min(lpn, span - npages)
+        b.write(lpn, _fps(rng, b, npages, pool=8, dup_prob=0.6))
+        if len(b.rows) < n and rng.random() < 0.7:
+            cut = int(rng.integers(1, npages + 1))
+            b.trim(lpn, cut)
+
+
+_GENERATORS = {
+    "duplicate-heavy": _gen_duplicate_heavy,
+    "overwrite-storm": _gen_overwrite_storm,
+    "gc-fill": _gen_gc_fill,
+    "mixed": _gen_mixed,
+    "trim-churn": _gen_trim_churn,
+}
+
+
+def rows_to_trace(rows: List[Row], name: str = "fuzz") -> Trace:
+    """Build a :class:`Trace` from fuzz/shrink request rows."""
+    n = len(rows)
+    times = np.empty(n, dtype=np.float64)
+    ops = np.empty(n, dtype=np.uint8)
+    lpns = np.empty(n, dtype=np.int64)
+    npages = np.empty(n, dtype=np.int32)
+    fps: List[int] = []
+    offsets = np.zeros(n + 1, dtype=np.int64)
+    for i, (t, op, lpn, count, page_fps) in enumerate(rows):
+        times[i] = t
+        ops[i] = op
+        lpns[i] = lpn
+        npages[i] = count
+        fps.extend(page_fps)
+        offsets[i + 1] = len(fps)
+    return Trace(
+        times, ops, lpns, npages, np.asarray(fps, dtype=np.int64), offsets, name
+    )
+
+
+def fuzz_rows(
+    seed: int,
+    config: Optional[SSDConfig] = None,
+    n_requests: int = 220,
+    profile: Optional[str] = None,
+) -> List[Row]:
+    """Generate the raw request rows of one fuzz trace."""
+    if config is None:
+        config = fuzz_config()
+    if profile is None:
+        profile = profile_for_seed(seed)
+    if profile not in _GENERATORS:
+        raise ValueError(f"unknown fuzz profile {profile!r}; choose from {PROFILES}")
+    rng = np.random.default_rng([seed, PROFILES.index(profile)])
+    builder = _RowBuilder()
+    _GENERATORS[profile](rng, builder, lpn_span(config), n_requests)
+    return builder.rows
+
+
+def fuzz_trace(
+    seed: int,
+    config: Optional[SSDConfig] = None,
+    n_requests: int = 220,
+    profile: Optional[str] = None,
+) -> Trace:
+    """One adversarial trace, deterministic per seed/profile/geometry."""
+    if profile is None:
+        profile = profile_for_seed(seed)
+    rows = fuzz_rows(seed, config=config, n_requests=n_requests, profile=profile)
+    return rows_to_trace(rows, name=f"fuzz-{profile}-s{seed}")

@@ -1,0 +1,90 @@
+"""Single entry point for full-state consistency checking.
+
+Before this module, every caller that wanted "check everything" strung
+together its own list of ``check_invariants`` calls (experiments,
+integration tests, the victim-index property tests).
+:func:`check_all` is the one promoted entry point: it accepts either a
+device (:class:`repro.device.ssd.SSD` / ``ParallelSSD``) or a bare
+:class:`repro.schemes.base.FTLScheme`, runs every structural check the
+FTL stack defines, and layers on the cross-structure checks that no
+single structure can see on its own:
+
+* every fingerprint-index entry agrees with the per-page fingerprint
+  store and points at a live page;
+* (optionally) the program/erase conservation laws — every physical
+  program is a user program or a GC migration, every erase a GC erase.
+
+The accounting checks assume all I/O entered through the request-level
+API (``write_request``/``destage``/``trim_request``); callers that
+drive ``write_page`` directly (the Fig 7/8 demos, property tests) pass
+``accounting=False``.
+
+All failures raise ``AssertionError`` with a message naming the
+violated invariant, so the differential harness can report them as
+divergences with context.
+"""
+
+from __future__ import annotations
+
+from repro.flash.chip import PageState
+
+
+def _resolve_scheme(obj):
+    """Accept an SSD-like device (``.scheme``) or a scheme itself."""
+    return getattr(obj, "scheme", obj)
+
+
+def check_index_agreement(scheme) -> None:
+    """Fingerprint index <-> page_fp store <-> flash state agreement."""
+    index = scheme.index
+    page_fp = scheme.page_fp
+    flash = scheme.flash
+    for ppn in list(scheme.mapping.mapped_ppns()):
+        if index.contains_ppn(ppn):
+            fp = index.fp_of(ppn)
+            if page_fp.get(ppn) != fp:
+                raise AssertionError(
+                    f"index says ppn {ppn} holds fp {fp:#x} but page_fp "
+                    f"says {page_fp.get(ppn)}"
+                )
+            if flash.state_of(ppn) != PageState.VALID:
+                raise AssertionError(f"canonical ppn {ppn} not VALID in flash")
+            if index.peek(fp) != ppn:
+                raise AssertionError(f"index entry for fp {fp:#x} not symmetric")
+
+
+def check_accounting(scheme) -> None:
+    """Program/erase conservation: physical activity must be fully
+    explained by the request-level and GC counters."""
+    flash = scheme.flash
+    io = scheme.io_counters
+    gc = scheme.gc_counters
+    expected_programs = io.user_pages_programmed + gc.pages_migrated
+    if flash.total_programs != expected_programs:
+        raise AssertionError(
+            f"program conservation violated: flash programmed "
+            f"{flash.total_programs} pages but user writes ({io.user_pages_programmed}) "
+            f"+ GC migrations ({gc.pages_migrated}) = {expected_programs}"
+        )
+    if flash.total_erases != gc.blocks_erased:
+        raise AssertionError(
+            f"erase conservation violated: flash erased {flash.total_erases} "
+            f"blocks but GC counted {gc.blocks_erased}"
+        )
+
+
+def check_all(obj, accounting: bool = True) -> None:
+    """Run every invariant over a device or scheme; raise on the first
+    violation.
+
+    ``accounting=False`` skips the conservation laws for callers that
+    bypass the request-level API (direct ``write_page`` drivers).
+    """
+    scheme = _resolve_scheme(obj)
+    # Structural self-checks of each component plus the cross-structure
+    # checks FTLScheme already bundles (mapped => VALID, page_fp cover,
+    # victim-index consistency).
+    scheme.check_invariants()
+    check_index_agreement(scheme)
+    if accounting:
+        check_accounting(scheme)

@@ -1,0 +1,174 @@
+"""The reference SSD model: small, slow, and obviously correct.
+
+:class:`OracleSSD` consumes the same request stream as the real
+:class:`repro.device.ssd.SSD` but keeps no physical state at all — just
+a dict from LPN to content fingerprint plus naive per-content referrer
+counts.  Everything it predicts follows from first principles:
+
+* the logical content map is exactly what the request stream dictates
+  (writes bind, trims unbind; GC and dedup must never change it);
+* a content's referrer count is the number of LPNs currently holding
+  it, however the scheme shares physical pages;
+* the foreground program count is scheme-determined: Baseline, CAGC
+  and LBA-hotcold program every logical page; Inline-Dedupe programs
+  only when the content has no live copy at write time (the canonical
+  page of a content lives exactly as long as some LPN references it);
+* the number of live physical pages is bracketed by
+  [distinct live contents, live LPNs], with the bracket collapsing to
+  a point for every scheme except CAGC (whose GC-time dedup merges an
+  order-dependent subset of duplicates).
+
+The model deliberately avoids sharing any code with the real FTL — its
+value as an oracle comes from being an independent derivation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.workloads.request import OpKind
+
+#: Schemes whose foreground write path programs every logical page.
+_ALWAYS_PROGRAM = ("baseline", "cagc", "lba-hotcold")
+
+
+@dataclass(frozen=True)
+class OracleSnapshot:
+    """The oracle's view of the device state, for comparison."""
+
+    #: LPN -> content fingerprint for every live logical page.
+    content: Dict[int, int]
+    #: content fingerprint -> number of LPNs currently holding it.
+    content_referrers: Dict[int, int]
+    #: inclusive bounds on the number of live physical pages.
+    live_pages_min: int
+    live_pages_max: int
+    #: request/page counters (exact when ``counters_exact``).
+    write_requests: int = 0
+    read_requests: int = 0
+    trim_requests: int = 0
+    logical_pages_written: int = 0
+    pages_read: int = 0
+    user_pages_programmed: int = 0
+    inline_dedup_hits: int = 0
+    #: False when the run's counters are not predictable from content
+    #: alone (e.g. a DRAM write buffer absorbs overwrites).
+    counters_exact: bool = True
+
+
+class OracleSSD:
+    """Reference model: dict-based content store + naive refcounts."""
+
+    def __init__(self, scheme: str = "baseline", counters_exact: bool = True) -> None:
+        if scheme not in _ALWAYS_PROGRAM + ("inline-dedupe",):
+            raise ValueError(f"unknown scheme {scheme!r}")
+        self.scheme = scheme
+        #: LPN -> content fingerprint.
+        self.content: Dict[int, int] = {}
+        #: content fingerprint -> live referrer (LPN) count.
+        self.refs: Dict[int, int] = {}
+        self.write_requests = 0
+        self.read_requests = 0
+        self.trim_requests = 0
+        self.logical_pages_written = 0
+        self.pages_read = 0
+        self.user_pages_programmed = 0
+        self.inline_dedup_hits = 0
+        self.counters_exact = counters_exact
+
+    # ------------------------------------------------------------------ requests
+
+    def apply(self, op: int, lpn: int, npages: int, fps: Optional[Sequence[int]]) -> None:
+        """Apply one trace row (same shape as ``Trace.iter_rows`` yields)."""
+        if op == int(OpKind.WRITE):
+            assert fps is not None
+            self.write(lpn, fps)
+        elif op == int(OpKind.READ):
+            self.read(lpn, npages)
+        elif op == int(OpKind.TRIM):
+            self.trim(lpn, npages)
+        else:
+            raise ValueError(f"unknown opcode {op}")
+
+    def write(self, lpn: int, fps: Sequence[int]) -> None:
+        self.write_requests += 1
+        for offset, fp in enumerate(fps):
+            self._write_page(lpn + offset, int(fp))
+        self.logical_pages_written += len(fps)
+
+    def _write_page(self, lpn: int, fp: int) -> None:
+        refs = self.refs
+        if self.scheme == "inline-dedupe":
+            # The canonical copy of a content exists exactly while some
+            # LPN references it, so the index lookup the real scheme
+            # does before binding hits iff the content is live now.
+            if refs.get(fp, 0) > 0:
+                self.inline_dedup_hits += 1
+            else:
+                self.user_pages_programmed += 1
+        else:
+            self.user_pages_programmed += 1
+        old = self.content.get(lpn)
+        if old is not None:
+            self._drop_ref(old)
+        self.content[lpn] = fp
+        refs[fp] = refs.get(fp, 0) + 1
+
+    def read(self, lpn: int, npages: int) -> int:
+        """Returns the number of mapped pages, like the real scheme."""
+        self.read_requests += 1
+        self.pages_read += npages
+        content = self.content
+        return sum(1 for off in range(npages) if lpn + off in content)
+
+    def trim(self, lpn: int, npages: int) -> int:
+        self.trim_requests += 1
+        trimmed = 0
+        for offset in range(npages):
+            old = self.content.pop(lpn + offset, None)
+            if old is not None:
+                self._drop_ref(old)
+                trimmed += 1
+        return trimmed
+
+    def _drop_ref(self, fp: int) -> None:
+        left = self.refs[fp] - 1
+        if left == 0:
+            del self.refs[fp]
+        else:
+            self.refs[fp] = left
+
+    # ------------------------------------------------------------------ views
+
+    def live_page_bounds(self) -> Tuple[int, int]:
+        """Bounds on live physical pages implied by the scheme's dedup.
+
+        No dedup: one page per live LPN.  Inline dedup: exactly one
+        page per distinct live content.  CAGC: GC-time dedup merges
+        some duplicates, so the count lies between the two.
+        """
+        n_lpns = len(self.content)
+        n_contents = len(self.refs)
+        if self.scheme == "inline-dedupe":
+            return n_contents, n_contents
+        if self.scheme == "cagc":
+            return n_contents, n_lpns
+        return n_lpns, n_lpns
+
+    def snapshot(self) -> OracleSnapshot:
+        lo, hi = self.live_page_bounds()
+        return OracleSnapshot(
+            content=dict(self.content),
+            content_referrers=dict(self.refs),
+            live_pages_min=lo,
+            live_pages_max=hi,
+            write_requests=self.write_requests,
+            read_requests=self.read_requests,
+            trim_requests=self.trim_requests,
+            logical_pages_written=self.logical_pages_written,
+            pages_read=self.pages_read,
+            user_pages_programmed=self.user_pages_programmed,
+            inline_dedup_hits=self.inline_dedup_hits,
+            counters_exact=self.counters_exact,
+        )

@@ -1,0 +1,114 @@
+"""Automatic trace shrinking: delta-debug a diverging request stream.
+
+Given a trace on which the differential harness reports a divergence,
+:func:`shrink_trace` reduces it to a 1-minimal reproducing trace — one
+from which no single request can be removed without losing the
+divergence — using the classic ddmin algorithm (Zeller & Hildebrandt,
+"Simplifying and Isolating Failure-Inducing Input").  The procedure is
+fully deterministic: the same input trace and predicate always shrink
+to the same minimal trace, so shrunk traces are stable enough to
+commit under ``tests/regress/`` as permanent regression cases.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Callable, List, Optional, Sequence, TypeVar, Union
+
+from repro.config import SSDConfig
+from repro.oracle.diff import diff_trace
+from repro.oracle.fuzz import Row, rows_to_trace
+from repro.workloads.trace import Trace
+
+T = TypeVar("T")
+
+
+def ddmin(items: Sequence[T], failing: Callable[[List[T]], bool]) -> List[T]:
+    """Minimize ``items`` while ``failing`` holds (1-minimal result).
+
+    ``failing(items)`` must be True on entry and is assumed to be
+    deterministic; the result is a sublist on which ``failing`` still
+    holds but removing any single element makes it pass.
+    """
+    items = list(items)
+    if not failing(items):
+        raise ValueError("ddmin requires a failing input")
+    n = 2
+    while len(items) >= 2:
+        length = len(items)
+        bounds = [(i * length // n, (i + 1) * length // n) for i in range(n)]
+        reduced = False
+        # Try each chunk alone ("reduce to subset") ...
+        for lo, hi in bounds:
+            subset = items[lo:hi]
+            if len(subset) < length and subset and failing(subset):
+                items = subset
+                n = 2
+                reduced = True
+                break
+        if reduced:
+            continue
+        # ... then each complement ("reduce to complement").
+        for lo, hi in bounds:
+            complement = items[:lo] + items[hi:]
+            if complement and len(complement) < length and failing(complement):
+                items = complement
+                n = max(n - 1, 2)
+                reduced = True
+                break
+        if reduced:
+            continue
+        if n >= length:
+            break  # single-request granularity exhausted: 1-minimal
+        n = min(length, n * 2)
+    return items
+
+
+def make_divergence_predicate(
+    scheme: str,
+    policy: str,
+    config: Optional[SSDConfig] = None,
+    check_every: int = 1,
+) -> Callable[[Trace], bool]:
+    """Predicate "this trace still diverges" for :func:`shrink_trace`."""
+
+    def predicate(trace: Trace) -> bool:
+        return (
+            diff_trace(
+                trace,
+                scheme=scheme,
+                policy=policy,
+                config=config,
+                check_every=check_every,
+            )
+            is not None
+        )
+
+    return predicate
+
+
+def shrink_trace(
+    trace: Trace,
+    predicate: Callable[[Trace], bool],
+    name: Optional[str] = None,
+) -> Trace:
+    """Reduce ``trace`` to a 1-minimal trace still failing ``predicate``."""
+    rows: List[Row] = [
+        (t, op, lpn, npages, tuple(int(f) for f in fps) if fps is not None else ())
+        for t, op, lpn, npages, fps in trace.iter_rows()
+    ]
+
+    def failing(subset: List[Row]) -> bool:
+        return predicate(rows_to_trace(subset, name="shrink-probe"))
+
+    minimal = ddmin(rows, failing)
+    return rows_to_trace(minimal, name=name or f"{trace.name}-min")
+
+
+def save_regression(trace: Trace, directory: Union[str, Path], name: str) -> Path:
+    """Write a shrunk trace as a CSV regression case; returns its path."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{name}.csv"
+    trace.save_csv(path)
+    return path

@@ -51,6 +51,36 @@ class WriteOutcome:
 
 
 @dataclass(frozen=True)
+class StateSnapshot:
+    """Scheme-independent view of the FTL state for differential
+    comparison against :class:`repro.oracle.model.OracleSSD`.
+
+    Everything here is derived from the live structures at call time
+    (O(live pages)); nothing is cached, so a snapshot is always honest.
+    """
+
+    #: LPN -> content fingerprint for every live logical page.
+    content: Dict[int, int]
+    #: content fingerprint -> total LPN referrers across all physical
+    #: copies of that content.
+    content_referrers: Dict[int, int]
+    #: live (mapped) physical pages.
+    live_pages: int
+    write_requests: int
+    read_requests: int
+    trim_requests: int
+    logical_pages_written: int
+    pages_read: int
+    user_pages_programmed: int
+    inline_dedup_hits: int
+    total_programs: int
+    total_erases: int
+    blocks_erased: int
+    pages_migrated: int
+    free_blocks: int
+
+
+@dataclass(frozen=True)
 class GCBlockOutcome:
     """Structural + timing result of collecting one victim block."""
 
@@ -363,6 +393,36 @@ class FTLScheme(abc.ABC):
             for ppn in self.mapping.mapped_ppns()
             for lpn in self.mapping.lpns_of(ppn)
         }
+
+    def state_snapshot(self) -> StateSnapshot:
+        """Capture the comparable state for the differential oracle."""
+        mapping = self.mapping
+        page_fp = self.page_fp
+        referrers: Dict[int, int] = {}
+        live = 0
+        for ppn in mapping.mapped_ppns():
+            live += 1
+            fp = page_fp[ppn]
+            referrers[fp] = referrers.get(fp, 0) + mapping.refcount(ppn)
+        io = self.io_counters
+        gc = self.gc_counters
+        return StateSnapshot(
+            content=self.logical_content(),
+            content_referrers=referrers,
+            live_pages=live,
+            write_requests=io.write_requests,
+            read_requests=io.read_requests,
+            trim_requests=io.trim_requests,
+            logical_pages_written=io.logical_pages_written,
+            pages_read=io.pages_read,
+            user_pages_programmed=io.user_pages_programmed,
+            inline_dedup_hits=io.inline_dedup_hits,
+            total_programs=self.flash.total_programs,
+            total_erases=self.flash.total_erases,
+            blocks_erased=gc.blocks_erased,
+            pages_migrated=gc.pages_migrated,
+            free_blocks=self.allocator.free_blocks,
+        )
 
     def check_invariants(self) -> None:
         """Full cross-structure consistency check (tests only: O(pages))."""

@@ -1,0 +1,44 @@
+"""Shared bug-injection helpers for the oracle test suite.
+
+These deliberately corrupt FTL internals so the tests can prove the
+differential harness *detects* real bugs — not just that clean code
+passes.  Each injection is a context manager restoring the original
+behaviour on exit, so test pollution is impossible even on failure.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from repro.ftl.gc.index import VictimIndex
+
+
+@contextmanager
+def victim_index_off_by_one():
+    """Re-introduce an off-by-one in victim-index maintenance.
+
+    When an already-indexed block gains an invalid page, the patched
+    hook records ``invalid - 1`` instead of ``invalid``, so the block
+    stays one bucket behind the flash array's true count.  Logical
+    state is untouched — only ``check_consistency`` (via
+    ``repro.oracle.invariants.check_all`` after a GC burst or at end of
+    trace) can catch it, which is exactly what the differential harness
+    must demonstrate.
+
+    The minimal trigger is one full block plus two invalidations of its
+    pages: the first makes the block a member (correct path), the
+    second takes the buggy member branch.
+    """
+    original = VictimIndex.on_invalidate
+
+    def buggy(self, block: int, invalid: int) -> None:
+        if self._bucket_of[block] >= 0:
+            original(self, block, invalid - 1)
+        else:
+            original(self, block, invalid)
+
+    VictimIndex.on_invalidate = buggy
+    try:
+        yield
+    finally:
+        VictimIndex.on_invalidate = original

@@ -9,6 +9,22 @@ from repro.config import GeometryConfig, SSDConfig, TimingConfig, small_config
 from repro.schemes import make_scheme
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--oracle-seeds",
+        type=int,
+        default=20,
+        help="fuzz seeds per scheme/policy combo in the differential "
+        "oracle property tests (tests/test_oracle_diff.py)",
+    )
+
+
+@pytest.fixture(scope="session")
+def oracle_seeds(request) -> int:
+    """Number of fuzz seeds the oracle property tests run per combo."""
+    return request.config.getoption("--oracle-seeds")
+
+
 @pytest.fixture
 def tiny_config() -> SSDConfig:
     """A minimal device: 16 blocks x 8 pages, 2 channels."""

@@ -6,6 +6,7 @@ import pytest
 
 from repro.config import GeometryConfig, SSDConfig, TimingConfig
 from repro.device.ssd import SSD, run_trace
+from repro.oracle.invariants import check_all
 from repro.schemes import make_scheme
 from repro.workloads.request import IORequest, OpKind
 from repro.workloads.trace import Trace
@@ -63,7 +64,7 @@ class TestPreemptiveMode:
             config = cfg(mode)
             scheme = make_scheme("cagc", config)
             SSD(scheme).replay(churn_trace(config))
-            scheme.check_invariants()
+            check_all(scheme)
             results[mode] = scheme.logical_content()
         assert results["blocking"] == results["preemptive"]
 
@@ -100,7 +101,7 @@ class TestPreemptiveMode:
         config = cfg("preemptive")
         scheme = make_scheme("inline-dedupe", config)
         SSD(scheme).replay(churn_trace(config))
-        scheme.check_invariants()
+        check_all(scheme)
 
 
 class TestCollectNext:

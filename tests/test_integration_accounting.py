@@ -12,6 +12,7 @@ import pytest
 
 from repro.config import small_config
 from repro.device.ssd import run_trace
+from repro.oracle.invariants import check_all
 from repro.schemes import make_scheme
 from repro.workloads.fiu import build_fiu_trace
 
@@ -81,7 +82,7 @@ class TestConservation:
     @pytest.mark.parametrize("name", SCHEMES)
     def test_full_invariant_suite(self, runs, name):
         scheme, _, _ = runs[name]
-        scheme.check_invariants()
+        check_all(scheme)
 
 
 class TestDedupEconomy:

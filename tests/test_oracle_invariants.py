@@ -1,0 +1,139 @@
+"""Each promoted invariant must fire on hand-broken state.
+
+``repro.oracle.invariants.check_all`` is only a safety net if every
+check in it actually trips when its structure is corrupted.  Each test
+here populates a real scheme with GC-pressure fuzz traffic, breaks one
+structure by hand, and asserts the net catches it with a message
+naming the right invariant.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.device.ssd import SSD
+from repro.oracle import build_scheme, check_all, fuzz_config, fuzz_trace
+from repro.oracle.invariants import check_accounting, check_index_agreement
+from repro.workloads.request import OpKind
+
+
+def _populated_scheme(scheme_name: str = "inline-dedupe"):
+    """A scheme driven through enough fuzz traffic to exercise GC."""
+    config = fuzz_config()
+    scheme = build_scheme(scheme_name, "greedy", config)
+    op_write, op_read, op_trim = int(OpKind.WRITE), int(OpKind.READ), int(OpKind.TRIM)
+    for now, op, lpn, npages, fps in fuzz_trace(2, config).iter_rows():
+        if op == op_write:
+            if scheme.needs_gc():
+                scheme.run_gc(now)
+            scheme.write_request(lpn, fps, now)
+        elif op == op_read:
+            scheme.read_request(lpn, npages)
+        elif op == op_trim:
+            scheme.trim_request(lpn, npages, now)
+    check_all(scheme)  # sanity: clean state passes
+    return scheme
+
+
+def test_clean_state_passes_on_device_and_scheme():
+    """check_all accepts both an SSD-like device and a bare scheme."""
+    config = fuzz_config()
+    ssd = SSD(build_scheme("cagc", "greedy", config))
+    ssd.replay(fuzz_trace(0, config))
+    check_all(ssd)
+    check_all(ssd.scheme)
+
+
+def test_program_conservation_fires():
+    scheme = _populated_scheme()
+    scheme.flash.total_programs += 1
+    with pytest.raises(AssertionError, match="program conservation"):
+        check_all(scheme)
+    with pytest.raises(AssertionError, match="program conservation"):
+        check_accounting(scheme)
+
+
+def test_erase_conservation_fires():
+    scheme = _populated_scheme()
+    scheme.gc_counters.blocks_erased += 1
+    with pytest.raises(AssertionError, match="erase conservation"):
+        check_all(scheme)
+
+
+def test_accounting_opt_out_skips_conservation():
+    """accounting=False must skip exactly the conservation checks."""
+    scheme = _populated_scheme()
+    scheme.flash.total_programs += 1
+    check_all(scheme, accounting=False)  # broken counter, but opted out
+
+
+def test_mapping_forward_reverse_desync_fires():
+    scheme = _populated_scheme()
+    lpn, ppn = next(iter(scheme.mapping._fwd.items()))
+    other = next(p for p in scheme.mapping.mapped_ppns() if p != ppn)
+    scheme.mapping._fwd[lpn] = other
+    with pytest.raises(AssertionError):
+        check_all(scheme)
+
+
+def test_fingerprint_index_asymmetry_fires():
+    scheme = _populated_scheme()
+    assert len(scheme.index) > 0, "dedup index unexpectedly empty"
+    fp = next(iter(scheme.index._by_fp))
+    scheme.index._by_fp[fp] = scheme.index._by_fp[fp] + 1
+    with pytest.raises(AssertionError, match="asymmetric"):
+        check_all(scheme)
+
+
+def test_victim_index_stale_bucket_fires():
+    scheme = _populated_scheme()
+    vi = scheme.victim_index
+    candidates = vi.sorted_candidates()
+    assert len(candidates) > 0, "no GC candidates after fuzz traffic"
+    block = int(candidates[0])
+    true_inv = vi._bucket_of[block]
+    vi._remove(block)
+    vi._add(block, max(1, true_inv - 1) if true_inv > 1 else true_inv + 1)
+    with pytest.raises(AssertionError, match="indexed at invalid"):
+        check_all(scheme)
+
+
+def test_page_fp_dangling_entry_fires():
+    scheme = _populated_scheme()
+    n_pages = scheme.flash.blocks * scheme.flash.pages_per_block
+    dead = next(
+        p
+        for p in range(n_pages - 1, -1, -1)
+        if scheme.mapping.refcount(p) == 0 and p not in scheme.page_fp
+    )
+    scheme.page_fp[dead] = 0xDEAD
+    with pytest.raises(AssertionError, match="dead ppn"):
+        check_all(scheme)
+
+
+def test_index_page_fp_disagreement_fires():
+    """The cross-structure check no single component sees on its own."""
+    scheme = _populated_scheme()
+    ppn = next(p for p in scheme.mapping.mapped_ppns() if scheme.index.contains_ppn(p))
+    scheme.page_fp[ppn] = scheme.page_fp[ppn] + 1
+    with pytest.raises(AssertionError, match="index says ppn"):
+        check_index_agreement(scheme)
+    with pytest.raises(AssertionError):
+        check_all(scheme)
+
+
+def test_mapped_page_invalidated_behind_ftl_fires():
+    scheme = _populated_scheme("baseline")
+    ppn = next(iter(scheme.mapping.mapped_ppns()))
+    scheme.flash.invalidate(ppn)
+    with pytest.raises(AssertionError):
+        check_all(scheme)
+
+
+def test_allocator_free_pool_corruption_fires():
+    scheme = _populated_scheme()
+    pool = scheme.allocator._free
+    assert len(pool) > 0, "free pool unexpectedly empty after fuzz traffic"
+    pool.append(pool[0])
+    with pytest.raises(AssertionError, match="duplicate block in free pool"):
+        check_all(scheme)

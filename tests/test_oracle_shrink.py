@@ -1,0 +1,96 @@
+"""Shrinker tests: ddmin minimizes diverging traces deterministically.
+
+The acceptance bar from the issue: an injected off-by-one in
+victim-index maintenance must be caught by the fuzz harness and shrink
+to a regression trace of at most 10 requests, identically on every
+run for a fixed seed.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.oracle import (
+    ddmin,
+    diff_trace,
+    fuzz_config,
+    fuzz_trace,
+    make_divergence_predicate,
+    shrink_trace,
+)
+
+from tests._oracle_helpers import victim_index_off_by_one
+
+
+# -- ddmin on plain lists ------------------------------------------------------
+
+
+def test_ddmin_single_culprit():
+    assert ddmin(list(range(100)), lambda s: 37 in s) == [37]
+
+
+def test_ddmin_pair_of_culprits():
+    result = ddmin(list(range(64)), lambda s: 5 in s and 50 in s)
+    assert result == [5, 50]
+
+
+def test_ddmin_result_is_one_minimal():
+    failing = lambda s: sum(s) >= 10  # noqa: E731
+    result = ddmin([1, 2, 3, 4, 5, 6], failing)
+    assert failing(result)
+    for i in range(len(result)):
+        assert not failing(result[:i] + result[i + 1 :])
+
+
+def test_ddmin_deterministic():
+    items = list(range(200))
+    failing = lambda s: len([x for x in s if x % 17 == 0]) >= 3  # noqa: E731
+    assert ddmin(items, failing) == ddmin(items, failing)
+
+
+def test_ddmin_rejects_passing_input():
+    with pytest.raises(ValueError):
+        ddmin([1, 2, 3], lambda s: False)
+
+
+# -- full pipeline: injected bug -> fuzz -> shrink -----------------------------
+
+
+def _find_diverging_trace(config):
+    for seed in range(10):
+        trace = fuzz_trace(seed, config)
+        if diff_trace(trace, scheme="baseline", config=config) is not None:
+            return trace
+    pytest.fail("injected victim-index bug never diverged across 10 seeds")
+
+
+def test_injected_bug_shrinks_to_at_most_10_requests():
+    config = fuzz_config()
+    with victim_index_off_by_one():
+        trace = _find_diverging_trace(config)
+        predicate = make_divergence_predicate("baseline", "greedy", config)
+        minimal = shrink_trace(trace, predicate)
+        assert predicate(minimal), "shrunk trace no longer diverges"
+        assert len(minimal) <= 10, (
+            f"shrunk to {len(minimal)} requests, acceptance bound is 10"
+        )
+    # Without the injection the minimal trace must replay cleanly: the
+    # divergence belongs to the bug, not to the trace.
+    assert diff_trace(minimal, scheme="baseline", config=config) is None
+
+
+def test_shrink_is_deterministic_for_fixed_seed():
+    config = fuzz_config()
+    with victim_index_off_by_one():
+        trace = _find_diverging_trace(config)
+        predicate = make_divergence_predicate("baseline", "greedy", config)
+        first = shrink_trace(trace, predicate)
+        second = shrink_trace(trace, predicate)
+
+    def rows(t):
+        return [
+            (time, op, lpn, npages, tuple(int(f) for f in fps))
+            for time, op, lpn, npages, fps in t.iter_rows()
+        ]
+
+    assert rows(first) == rows(second)

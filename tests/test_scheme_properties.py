@@ -10,6 +10,7 @@ layout.
 from hypothesis import given, settings, strategies as st
 
 from repro.config import GeometryConfig, SSDConfig
+from repro.oracle.invariants import check_all
 from repro.schemes import make_scheme
 
 SCHEMES = ("baseline", "inline-dedupe", "cagc")
@@ -59,7 +60,7 @@ class TestLogicalStatePreserved:
         scheme = make_scheme("baseline", tiny_cfg())
         oracle = apply_ops(scheme, ops)
         assert scheme.logical_content() == oracle
-        scheme.check_invariants()
+        check_all(scheme, accounting=False)
 
     @given(ops=ops_strategy)
     @settings(max_examples=60, deadline=None)
@@ -67,7 +68,7 @@ class TestLogicalStatePreserved:
         scheme = make_scheme("inline-dedupe", tiny_cfg())
         oracle = apply_ops(scheme, ops)
         assert scheme.logical_content() == oracle
-        scheme.check_invariants()
+        check_all(scheme, accounting=False)
 
     @given(ops=ops_strategy)
     @settings(max_examples=60, deadline=None)
@@ -75,7 +76,7 @@ class TestLogicalStatePreserved:
         scheme = make_scheme("cagc", tiny_cfg())
         oracle = apply_ops(scheme, ops)
         assert scheme.logical_content() == oracle
-        scheme.check_invariants()
+        check_all(scheme, accounting=False)
 
 
 class TestCrossSchemeEquivalence:
