@@ -40,12 +40,14 @@ from repro.oracle import (  # noqa: E402
     make_divergence_predicate,
     shrink_trace,
 )
+from repro.obs import log  # noqa: E402
 from repro.oracle.fuzz import profile_for_seed  # noqa: E402
 from repro.oracle.shrink import save_regression  # noqa: E402
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    log.add_verbosity_args(parser)
     parser.add_argument("--seeds", type=int, default=100, help="fuzz seeds per combo")
     parser.add_argument("--requests", type=int, default=220, help="requests per trace")
     parser.add_argument(
@@ -67,6 +69,7 @@ def main(argv=None) -> int:
     )
     parser.add_argument("--regress-dir", default="tests/regress")
     args = parser.parse_args(argv)
+    log.setup_from_args(args)
 
     config = fuzz_config()
     start = time.time()
@@ -74,6 +77,7 @@ def main(argv=None) -> int:
     failures = 0
     for seed in range(args.seeds):
         trace = fuzz_trace(seed, config, n_requests=args.requests)
+        log.debug("seed %d (%s): %d requests", seed, profile_for_seed(seed), len(trace))
         for scheme in args.schemes:
             for policy in args.policies:
                 runs += 1
@@ -87,7 +91,7 @@ def main(argv=None) -> int:
                 if divergence is None:
                     continue
                 failures += 1
-                print(f"seed {seed} ({profile_for_seed(seed)}): {divergence}")
+                log.error("seed %d (%s): %s", seed, profile_for_seed(seed), divergence)
                 if args.shrink:
                     minimal = shrink_trace(
                         trace,
@@ -97,12 +101,19 @@ def main(argv=None) -> int:
                     path = save_regression(
                         minimal, args.regress_dir, f"fuzz-s{seed}-{scheme}-{policy}"
                     )
-                    print(f"  shrunk {len(trace)} -> {len(minimal)} requests: {path}")
+                    log.error(
+                        "  shrunk %d -> %d requests: %s", len(trace), len(minimal), path
+                    )
     wall = time.time() - start
     combos = len(args.schemes) * len(args.policies)
-    print(
-        f"oracle sweep: {args.seeds} seeds x {combos} scheme/policy combos = "
-        f"{runs} differential runs, {failures} divergences ({wall:.1f}s)"
+    log.info(
+        "oracle sweep: %d seeds x %d scheme/policy combos = "
+        "%d differential runs, %d divergences (%.1fs)",
+        args.seeds,
+        combos,
+        runs,
+        failures,
+        wall,
     )
     return 1 if failures else 0
 

@@ -10,12 +10,20 @@ Examples::
     cagc-repro trace-gen --preset mail --requests 20000 --out mail.csv
     cagc-repro trace-info mail.csv
     cagc-repro simulate --scheme cagc --preset mail --blocks 256
-    cagc-repro simulate --scheme baseline --trace mail.csv --policy cost-benefit
+    cagc-repro simulate --scheme baseline --replay mail.csv --policy cost-benefit
+    cagc-repro simulate --scheme cagc --trace run.json --trace-format chrome
+    cagc-repro report --workload mail --scheme cagc
 
 Experiment runs are cached persistently (``results/cache`` or
 ``$CAGC_CACHE_DIR``), so repeated invocations are nearly instant;
 ``--no-cache`` forces fresh simulations and ``--jobs N`` fans
 cache-misses out over N worker processes.
+
+Observability: ``--trace FILE`` records a span trace of any ``simulate``
+or ``run`` invocation (``--trace-format chrome`` opens in Perfetto /
+``chrome://tracing``), ``--heartbeat SECS`` prints wall-clock progress to
+stderr, ``report`` renders the full telemetry view of a cached run, and
+every subcommand takes ``-q`` / ``-v`` to gate status chatter.
 """
 
 from __future__ import annotations
@@ -35,7 +43,8 @@ from repro.experiments.common import SCALES, reset_result_caches
 from repro.experiments.registry import warm_experiments
 from repro.ftl.gc import POLICIES, make_policy
 from repro.metrics.report import format_table
-from repro.runner import RunCache, cache_enabled, run_specs, sweep_specs
+from repro.obs import log
+from repro.runner import RunCache, RunSpec, cache_enabled, run_specs, sweep_specs
 from repro.runner.cache import ENV_NO_CACHE
 from repro.schemes import make_scheme
 from repro.workloads.analysis import profile_trace, refcount_histogram
@@ -62,6 +71,31 @@ def _add_parallel_args(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_obs_args(parser: argparse.ArgumentParser) -> None:
+    """``--trace`` / ``--trace-format`` / ``--heartbeat`` (repro.obs)."""
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help="write a span trace of the run (foreground I/O, GC phases, "
+        "hash lanes) to FILE",
+    )
+    parser.add_argument(
+        "--trace-format",
+        default="chrome",
+        choices=("chrome", "jsonl"),
+        help="trace file format: 'chrome' loads in Perfetto / "
+        "chrome://tracing (default), 'jsonl' is one event per line",
+    )
+    parser.add_argument(
+        "--heartbeat",
+        type=float,
+        default=None,
+        metavar="SECS",
+        help="print wall-clock progress to stderr every SECS seconds",
+    )
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="cagc-repro",
@@ -84,6 +118,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="device/trace sizing (default: bench)",
     )
     _add_parallel_args(run_p)
+    _add_obs_args(run_p)
 
     sweep_p = sub.add_parser(
         "sweep",
@@ -197,7 +232,10 @@ def _build_parser() -> argparse.ArgumentParser:
         choices=("baseline", "inline-dedupe", "cagc", "lba-hotcold"),
     )
     sim_p.add_argument("--preset", default="mail", choices=sorted(FIU_PRESETS))
-    sim_p.add_argument("--trace", default=None, help="replay a trace file instead of a preset")
+    sim_p.add_argument(
+        "--replay", default=None, metavar="FILE",
+        help="replay a trace file instead of a preset",
+    )
     sim_p.add_argument("--policy", default="greedy", choices=sorted(POLICIES))
     sim_p.add_argument("--blocks", type=int, default=256)
     sim_p.add_argument("--pages-per-block", type=int, default=64)
@@ -215,6 +253,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "--write-buffer", type=int, default=0, metavar="PAGES",
         help="DRAM write-back buffer size in pages (serial device only)",
     )
+    _add_obs_args(sim_p)
 
     cmp_p = sub.add_parser(
         "compare", help="run every scheme on one workload and tabulate"
@@ -224,6 +263,35 @@ def _build_parser() -> argparse.ArgumentParser:
     cmp_p.add_argument("--blocks", type=int, default=256)
     cmp_p.add_argument("--pages-per-block", type=int, default=64)
     cmp_p.add_argument("--fill-factor", type=float, default=3.0)
+
+    rep_p = sub.add_parser(
+        "report",
+        help="full telemetry view of one run (latency percentiles, WAF, "
+        "dedup ratios, GC phase breakdown) from the result cache",
+    )
+    rep_p.add_argument("--workload", default="mail", choices=sorted(FIU_PRESETS))
+    rep_p.add_argument("--scheme", default="cagc", choices=SCHEME_NAMES)
+    rep_p.add_argument("--policy", default="greedy", choices=sorted(POLICIES))
+    rep_p.add_argument("--seed", type=int, default=0)
+    rep_p.add_argument(
+        "--scale",
+        default="bench",
+        choices=sorted(SCALES),
+        help="device/trace sizing (default: bench)",
+    )
+    rep_p.add_argument(
+        "--device",
+        default="single",
+        choices=("single", "parallel"),
+        help="controller model (default: single)",
+    )
+    rep_p.add_argument(
+        "--out", default=None, metavar="FILE", help="also write the report as JSON"
+    )
+    _add_parallel_args(rep_p)
+
+    for sub_parser in sub.choices.values():
+        log.add_verbosity_args(sub_parser)
     return parser
 
 
@@ -241,15 +309,39 @@ def _disable_cache() -> None:
     reset_result_caches()
 
 
+def _make_observers(args):
+    """Build (tracer, telemetry, heartbeat) from the obs flags."""
+    from repro.obs import Heartbeat, RunTelemetry, Tracer
+
+    tracer = Tracer() if args.trace else None
+    telemetry = RunTelemetry() if args.trace else None
+    heartbeat = Heartbeat(args.heartbeat) if args.heartbeat is not None else None
+    return tracer, telemetry, heartbeat
+
+
+def _write_trace(tracer, timeline, args) -> None:
+    """Fold the device timeline into the trace and write it out."""
+    if timeline is not None:
+        tracer.add_counters_from(timeline.to_dict())
+    tracer.write(args.trace, args.trace_format)
+    log.info(
+        "wrote %d trace events (%s) to %s",
+        len(tracer),
+        args.trace_format,
+        args.trace,
+    )
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     if args.no_cache:
         _disable_cache()
     ids = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     unknown = [i for i in ids if i not in EXPERIMENTS]
     if unknown:
-        print(
-            f"error: unknown experiment {unknown[0]!r}; choose from {sorted(EXPERIMENTS)}",
-            file=sys.stderr,
+        log.error(
+            "error: unknown experiment %r; choose from %s",
+            unknown[0],
+            sorted(EXPERIMENTS),
         )
         return 2
     # Prewarm the shared result cache: every (workload, scheme, policy,
@@ -258,17 +350,40 @@ def _cmd_run(args: argparse.Namespace) -> int:
     start = time.time()
     warmed = warm_experiments(ids, scale=args.scale, jobs=args.jobs)
     if warmed and args.jobs != 1:
-        print(f"(warmed {warmed} runs in {time.time() - start:.1f}s)\n")
+        log.info("(warmed %d runs in %.1fs)", warmed, time.time() - start)
+    if args.trace:
+        _trace_one_experiment_run(ids, args)
     for experiment_id in ids:
         start = time.time()
         try:
             report = run_experiment(experiment_id, scale=args.scale)
         except ValueError as exc:
-            print(f"error: {exc}", file=sys.stderr)
+            log.error("error: %s", exc)
             return 2
         print(report)
-        print(f"({time.time() - start:.1f}s)\n")
+        log.info("(%.1fs)", time.time() - start)
     return 0
+
+
+def _trace_one_experiment_run(args_ids, args) -> None:
+    """``run --trace``: re-execute one representative spec, traced.
+
+    Cached results carry no event stream, so tracing requires a replay;
+    the first spec behind the selected experiments is re-run with the
+    observers attached (the cache itself is untouched — observers never
+    change the simulated outcome).
+    """
+    from repro.experiments.registry import specs_for_experiments
+
+    specs = specs_for_experiments(args_ids, scale=args.scale)
+    if not specs:
+        log.warning("--trace: no underlying runs for %s", args_ids)
+        return
+    spec = specs[0]
+    tracer, telemetry, heartbeat = _make_observers(args)
+    log.info("tracing %s ...", spec.label())
+    spec.execute(tracer=tracer, telemetry=telemetry, heartbeat=heartbeat)
+    _write_trace(tracer, None, args)
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
@@ -323,10 +438,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         )
     )
     hits = cache.hits if cache is not None else 0
-    print(f"({wall:.1f}s, {hits}/{len(specs)} from cache, jobs={args.jobs})")
+    log.info("(%.1fs, %d/%d from cache, jobs=%d)", wall, hits, len(specs), args.jobs)
     if args.out:
         Path(args.out).write_text(json.dumps(records, indent=2) + "\n")
-        print(f"wrote {args.out}")
+        log.info("wrote %s", args.out)
     return 0
 
 
@@ -345,9 +460,10 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     policies = tuple(args.policies) if args.policies else ALL_POLICIES
     unknown = [p for p in policies if p not in ALL_POLICIES]
     if unknown:
-        print(
-            f"error: unknown policy {unknown[0]!r}; choose from {sorted(ALL_POLICIES)}",
-            file=sys.stderr,
+        log.error(
+            "error: unknown policy %r; choose from %s",
+            unknown[0],
+            sorted(ALL_POLICIES),
         )
         return 2
     config = fuzz_config()
@@ -379,8 +495,8 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
                     path = save_regression(
                         minimal, args.regress_dir, f"fuzz-s{seed}-{scheme}-{policy}"
                     )
-                    print(
-                        f"  shrunk {len(trace)} -> {len(minimal)} requests: {path}"
+                    log.info(
+                        "  shrunk %d -> %d requests: %s", len(trace), len(minimal), path
                     )
     wall = time.time() - start
     print(
@@ -403,16 +519,19 @@ def _cmd_trace_gen(args: argparse.Namespace) -> int:
     else:
         dump_fiu_trace(trace, args.out)
     stats = trace.stats()
-    print(
-        f"wrote {stats.requests:,} requests ({stats.written_pages:,} written pages, "
-        f"dedup {stats.dedup_ratio:.1%}) to {args.out}"
+    log.info(
+        "wrote %s requests (%s written pages, dedup %.1f%%) to %s",
+        f"{stats.requests:,}",
+        f"{stats.written_pages:,}",
+        stats.dedup_ratio * 100,
+        args.out,
     )
     return 0
 
 
 def _cmd_trace_info(args: argparse.Namespace) -> int:
     if not Path(args.trace).exists():
-        print(f"error: no such file: {args.trace}", file=sys.stderr)
+        log.error("error: no such file: %s", args.trace)
         return 2
     trace = _load_trace(args.trace, args.format)
     stats = trace.stats()
@@ -453,21 +572,29 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         write_buffer_pages=args.write_buffer,
     )
     config.validate()
-    if args.trace is not None:
-        trace = _load_trace(args.trace, None)
+    if args.replay is not None:
+        trace = _load_trace(args.replay, None)
     else:
         trace = build_fiu_trace(
             args.preset, config, n_requests=0, fill_factor=args.fill_factor
         )
     scheme = make_scheme(args.scheme, config, policy=make_policy(args.policy))
+    tracer, telemetry, heartbeat = _make_observers(args)
     start = time.time()
     if args.device == "parallel":
         from repro.device.parallel import ParallelSSD
 
-        result = ParallelSSD(scheme).replay(trace)
+        device = ParallelSSD(scheme, tracer=tracer, heartbeat=heartbeat)
     else:
-        result = run_trace(scheme, trace)
+        from repro.device.ssd import SSD
+
+        device = SSD(
+            scheme, tracer=tracer, telemetry=telemetry, heartbeat=heartbeat
+        )
+    result = device.replay(trace)
     wall = time.time() - start
+    if tracer is not None:
+        _write_trace(tracer, getattr(device, "timeline", None), args)
     lat = result.latency
     rows = [
         ("requests", lat.count),
@@ -490,6 +617,35 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             title=f"{args.scheme} / {trace.name} / {args.policy} / {args.gc_mode}",
         )
     )
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    """Render the unified telemetry view of one (possibly cached) run."""
+    from repro.obs import RunTelemetry
+
+    if args.no_cache:
+        _disable_cache()
+    spec = RunSpec(
+        workload=args.workload,
+        scheme=args.scheme,
+        policy=args.policy,
+        seed=args.seed,
+        scale=args.scale,
+        device=args.device,
+    )
+    cache = RunCache.from_env() if cache_enabled() else None
+    start = time.time()
+    result = run_specs([spec], jobs=args.jobs, cache=cache)[0]
+    wall = time.time() - start
+    rows = RunTelemetry.summary_rows(result)
+    print(format_table(("Metric", "Value"), rows, title=spec.label()))
+    hits = cache.hits if cache is not None else 0
+    log.info("(%.1fs, %s)", wall, "cached" if hits else "fresh run")
+    if args.out:
+        doc = {"run": spec.label(), "metrics": {k: v for k, v in rows}}
+        Path(args.out).write_text(json.dumps(doc, indent=2) + "\n")
+        log.info("wrote %s", args.out)
     return 0
 
 
@@ -531,6 +687,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
+    log.setup_from_args(args)
     if args.command == "list":
         for experiment_id in EXPERIMENTS:
             print(experiment_id)
@@ -549,6 +706,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_simulate(args)
     if args.command == "compare":
         return _cmd_compare(args)
+    if args.command == "report":
+        return _cmd_report(args)
     raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover
 
 

@@ -76,7 +76,8 @@ class CAGCScheme(FTLScheme):
 
     def collect_block(self, victim: int, now_us: float) -> GCBlockOutcome:
         valid = self.flash.valid_ppns_in(victim)
-        pipeline = GCPipeline(self.timing)
+        tracer = self.tracer
+        pipeline = GCPipeline(self.timing, tracer=tracer, base_us=now_us)
         examined = 0
         migrated = 0
         skipped = 0
@@ -91,11 +92,13 @@ class CAGCScheme(FTLScheme):
             canonical = self.index.lookup(fp)
             if canonical is not None and canonical != ppn:
                 self._dedup_merge(ppn, canonical)
-                pipeline.process_page(write=False)
+                pipeline.process_page(write=False, ppn=ppn)
                 skipped += 1
                 if self._maybe_promote(canonical, now_us):
-                    pipeline.extra_copy()
+                    pipeline.extra_copy(ppn=canonical)
                     promotions += 1
+                    if tracer is not None:
+                        tracer.instant("gc", "promote", now_us, canonical=canonical)
             else:
                 refcount = self.mapping.refcount(ppn)
                 region = self.placement.region_for(refcount, self.allocator)
@@ -104,9 +107,10 @@ class CAGCScheme(FTLScheme):
                     # First GC pass over this content: it becomes the
                     # canonical copy future duplicates merge into.
                     self.index.insert(fp, new_ppn)
-                pipeline.process_page(write=True)
+                pipeline.process_page(write=True, ppn=ppn)
                 migrated += 1
         self._erase_victim(victim)
+        t = self.timing
         outcome = GCBlockOutcome(
             victim=victim,
             duration_us=pipeline.finish(),
@@ -114,6 +118,12 @@ class CAGCScheme(FTLScheme):
             pages_migrated=migrated + promotions,
             dedup_skipped=skipped,
             promotions=promotions,
+            # Resource occupancy, not critical path: in the overlapped
+            # pipeline these legitimately sum to more than duration_us.
+            read_us=(examined + promotions) * t.read_us,
+            hash_us=examined * (t.hash_us + t.lookup_us),
+            write_us=(migrated + promotions) * t.write_us,
+            erase_us=t.erase_us,
         )
         self._account_gc(outcome)
         return outcome

@@ -41,41 +41,79 @@ class GCPipeline:
     (``write=False`` for dedup hits), :meth:`extra_copy` for
     promotion/demotion copies, then :meth:`finish` for the total
     duration including the erase.
+
+    With a :class:`repro.obs.Tracer` attached (``tracer`` + ``base_us``,
+    the block's absolute start time), every stage occupancy becomes a
+    span: page reads on ``gc.read``, hash + index lookup on one
+    ``hash-lane-<i>`` track per engine lane, programs on ``gc.write``,
+    and the trailing erase on ``gc`` — which is exactly the Fig 5
+    overlap picture, viewable in Perfetto.  Untraced pipelines pay one
+    ``is not None`` test per stage.
     """
 
-    __slots__ = ("_timing", "_read_free", "_lanes_free", "_write_free")
+    __slots__ = ("_timing", "_read_free", "_lanes_free", "_write_free",
+                 "_tracer", "_base_us")
 
-    def __init__(self, timing: FlashTiming) -> None:
+    def __init__(self, timing: FlashTiming, tracer=None, base_us: float = 0.0) -> None:
         self._timing = timing
         self._read_free = 0.0
         self._lanes_free = [0.0] * timing.hash_lanes
         self._write_free = 0.0
+        self._tracer = tracer
+        self._base_us = base_us
 
-    def process_page(self, write: bool) -> None:
+    def process_page(self, write: bool, ppn: int = -1) -> None:
         """Advance the pipeline by one valid page.
 
         The page's read occupies the read path; its hash + lookup start
         when both the page data and a hash-engine lane are available; a
         unique page's program starts when the verdict is known and the
-        write path is free.
+        write path is free.  ``ppn`` only labels trace spans.
         """
         t = self._timing
-        read_done = self._read_free + t.read_us
+        read_start = self._read_free
+        read_done = read_start + t.read_us
         self._read_free = read_done
         lane = min(range(len(self._lanes_free)), key=self._lanes_free.__getitem__)
-        hash_done = max(read_done, self._lanes_free[lane]) + t.hash_us + t.lookup_us
+        hash_start = max(read_done, self._lanes_free[lane])
+        hash_done = hash_start + t.hash_us + t.lookup_us
         self._lanes_free[lane] = hash_done
         if write:
-            self._write_free = max(hash_done, self._write_free) + t.write_us
+            write_start = max(hash_done, self._write_free)
+            self._write_free = write_start + t.write_us
+        tracer = self._tracer
+        if tracer is not None:
+            base = self._base_us
+            tracer.span("gc.read", "read", base + read_start, t.read_us, ppn=ppn)
+            track = f"hash-lane-{lane}"
+            tracer.span(track, "hash", base + hash_start, t.hash_us, ppn=ppn)
+            tracer.span(
+                track, "lookup", base + hash_start + t.hash_us, t.lookup_us, ppn=ppn
+            )
+            if write:
+                tracer.span("gc.write", "migrate", base + write_start, t.write_us, ppn=ppn)
 
-    def extra_copy(self) -> None:
+    def extra_copy(self, ppn: int = -1) -> None:
         """A promotion/demotion copy: one read + one write, no hashing."""
         t = self._timing
-        read_done = self._read_free + t.read_us
+        read_start = self._read_free
+        read_done = read_start + t.read_us
         self._read_free = read_done
-        self._write_free = max(read_done, self._write_free) + t.write_us
+        write_start = max(read_done, self._write_free)
+        self._write_free = write_start + t.write_us
+        tracer = self._tracer
+        if tracer is not None:
+            base = self._base_us
+            tracer.span("gc.read", "read", base + read_start, t.read_us, ppn=ppn)
+            tracer.span(
+                "gc.write", "promote-copy", base + write_start, t.write_us, ppn=ppn
+            )
 
     def finish(self) -> float:
         """Total block-collection latency: pipeline makespan + erase."""
         makespan = max(self._read_free, max(self._lanes_free), self._write_free)
+        if self._tracer is not None:
+            self._tracer.span(
+                "gc", "erase", self._base_us + makespan, self._timing.erase_us
+            )
         return makespan + self._timing.erase_us

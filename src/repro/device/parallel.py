@@ -42,7 +42,19 @@ _Row = Tuple[float, int, int, int, Optional[np.ndarray]]
 class ParallelSSD:
     """Per-channel queues; GC blocks only its own channel."""
 
-    def __init__(self, scheme: FTLScheme, sim: Optional[Simulator] = None) -> None:
+    _OP_NAMES = {
+        int(OpKind.WRITE): "write",
+        int(OpKind.READ): "read",
+        int(OpKind.TRIM): "trim",
+    }
+
+    def __init__(
+        self,
+        scheme: FTLScheme,
+        sim: Optional[Simulator] = None,
+        tracer=None,
+        heartbeat=None,
+    ) -> None:
         self.scheme = scheme
         self.sim = sim if sim is not None else Simulator()
         self.latency = LatencyRecorder()
@@ -50,6 +62,11 @@ class ParallelSSD:
         self._queues: List[Deque[_Row]] = [deque() for _ in range(self.channels)]
         self._busy = [False] * self.channels
         self._rows = None  # type: Optional[object]
+        self.requests_completed = 0
+        self.tracer = tracer
+        #: the scheme's GC-phase spans flow through the same tracer.
+        scheme.tracer = tracer
+        self.heartbeat = heartbeat
 
     # ------------------------------------------------------------------ replay
 
@@ -57,6 +74,10 @@ class ParallelSSD:
         self._rows = trace.iter_rows()
         self._schedule_next_arrival()
         self.sim.run()
+        if self.heartbeat is not None:
+            self.heartbeat.finish(
+                self.sim.now, self.sim.events_processed, self.requests_completed
+            )
         return RunResult(
             scheme=self.scheme.name,
             trace=trace.name,
@@ -97,6 +118,17 @@ class ParallelSSD:
         row = self._queues[channel].popleft()
         self._busy[channel] = True
         duration = self._service(row)
+        if self.tracer is not None:
+            now = self.sim.now
+            self.tracer.span(
+                f"io.ch{channel}",
+                self._OP_NAMES.get(row[1], "op"),
+                now,
+                duration,
+                lpn=row[2],
+                npages=row[3],
+                queued_us=now - row[0],
+            )
         self.sim.schedule(
             duration,
             EventKind.OP_COMPLETE,
@@ -107,6 +139,11 @@ class ParallelSSD:
     def _on_complete(self, event: Event) -> None:
         channel, arrival_us = event.payload
         self.latency.record(self.sim.now - arrival_us)
+        self.requests_completed += 1
+        if self.heartbeat is not None:
+            self.heartbeat.tick(
+                self.sim.now, self.sim.events_processed, self.requests_completed
+            )
         if self._queues[channel]:
             self._start_service(channel)
         else:

@@ -76,9 +76,22 @@ class RunResult:
 
 
 class SSD:
-    """One simulated SSD: a scheme plus the admission/service machinery."""
+    """One simulated SSD: a scheme plus the admission/service machinery.
 
-    def __init__(self, scheme: FTLScheme, sim: Optional[Simulator] = None) -> None:
+    ``tracer`` / ``telemetry`` / ``heartbeat`` are the optional
+    observers from :mod:`repro.obs`.  Each one costs exactly one
+    ``is not None`` test per request when absent — the default replay
+    path stays untouched.
+    """
+
+    def __init__(
+        self,
+        scheme: FTLScheme,
+        sim: Optional[Simulator] = None,
+        tracer=None,
+        telemetry=None,
+        heartbeat=None,
+    ) -> None:
         self.scheme = scheme
         self.sim = sim if sim is not None else Simulator()
         self.latency = LatencyRecorder()
@@ -93,8 +106,15 @@ class SSD:
         self._op_write = int(OpKind.WRITE)
         self._op_read = int(OpKind.READ)
         self._op_trim = int(OpKind.TRIM)
+        self._op_names = {
+            self._op_write: "write",
+            self._op_read: "read",
+            self._op_trim: "trim",
+        }
         #: idle-time GC chunks completed (preemptive mode telemetry).
         self.background_gc_chunks = 0
+        #: requests completed (drives heartbeat progress).
+        self.requests_completed = 0
         self.buffer: Optional[WriteBuffer] = None
         if scheme.config.write_buffer_pages > 0:
             self.buffer = WriteBuffer(
@@ -102,14 +122,53 @@ class SSD:
                 dram_us=scheme.config.write_buffer_dram_us,
             )
         from repro.metrics.timeline import TimelineRecorder
+        from repro.obs.hooks import HookMux
 
         #: free-space / GC-activity time series (sampled at GC events).
         self.timeline = TimelineRecorder()
-        #: Optional callback fired with this SSD after every GC episode
-        #: (foreground burst or idle chunk).  The differential-oracle
-        #: harness hangs :func:`repro.oracle.invariants.check_all` here
-        #: so structural drift is caught at the GC that introduced it.
-        self.gc_hook: Optional[Callable[["SSD"], None]] = None
+        #: All post-GC observers, fired with this SSD after every GC
+        #: episode (foreground burst or idle chunk).  The differential
+        #: oracle's invariant checker and telemetry snapshots coexist
+        #: here; see also the :attr:`gc_hook` compatibility property.
+        self.hooks = HookMux()
+        self._user_gc_hook: Optional[Callable[["SSD"], None]] = None
+        #: sim time of the latest GC state sample.  GC completes *inside*
+        #: a service computation (sim.now still reads the service start),
+        #: so hook-driven snapshots take their timestamp from here to
+        #: keep the timeline monotone.
+        self._gc_sample_us = 0.0
+        self.tracer = tracer
+        #: the scheme emits GC-phase spans through the same tracer.
+        scheme.tracer = tracer
+        self.telemetry = telemetry
+        if telemetry is not None:
+            self.hooks.add(self._telemetry_gc_snapshot)
+        self.heartbeat = heartbeat
+
+    # ------------------------------------------------------------------ hooks
+
+    @property
+    def gc_hook(self) -> Optional[Callable[["SSD"], None]]:
+        """Single-slot compatibility view over :attr:`hooks`.
+
+        Historically ``ssd.gc_hook = fn`` installed the one post-GC
+        callback (the differential-oracle harness still assigns
+        :func:`repro.oracle.invariants.check_all` this way).  The slot
+        now maps onto one :class:`~repro.obs.HookMux` entry, so it
+        composes with telemetry snapshots instead of clobbering them.
+        """
+        return self._user_gc_hook
+
+    @gc_hook.setter
+    def gc_hook(self, hook: Optional[Callable[["SSD"], None]]) -> None:
+        if self._user_gc_hook is not None:
+            self.hooks.remove(self._user_gc_hook)
+        self._user_gc_hook = hook
+        if hook is not None:
+            self.hooks.add(hook)
+
+    def _telemetry_gc_snapshot(self, ssd: "SSD") -> None:
+        self.telemetry.snapshot(max(self._gc_sample_us, self.sim.now), self)
 
     # ------------------------------------------------------------------ replay
 
@@ -124,6 +183,12 @@ class SSD:
             remaining = self.buffer.drain()
             if remaining:
                 self._destage_with_gc(remaining, self.sim.now)
+        if self.telemetry is not None:
+            self.telemetry.snapshot(max(self._gc_sample_us, self.sim.now), self)
+        if self.heartbeat is not None:
+            self.heartbeat.finish(
+                self.sim.now, self.sim.events_processed, self.requests_completed
+            )
         return RunResult(
             scheme=self.scheme.name,
             trace=trace.name,
@@ -160,13 +225,32 @@ class SSD:
         row = self._queue.popleft()
         self._busy = True
         duration = self._service(row)
+        if self.tracer is not None:
+            now = self.sim.now
+            self.tracer.span(
+                "io",
+                self._op_names.get(row[1], "op"),
+                now,
+                duration,
+                lpn=row[2],
+                npages=row[3],
+                queued_us=now - row[0],
+            )
         self.sim.schedule(
             duration, EventKind.OP_COMPLETE, row[0], self._on_complete
         )
 
     def _on_complete(self, event: Event) -> None:
         arrival_us = event.payload
-        self.latency.record(self.sim.now - arrival_us)
+        latency_us = self.sim.now - arrival_us
+        self.latency.record(latency_us)
+        self.requests_completed += 1
+        if self.telemetry is not None:
+            self.telemetry.on_complete(self.sim.now, latency_us, self)
+        if self.heartbeat is not None:
+            self.heartbeat.tick(
+                self.sim.now, self.sim.events_processed, self.requests_completed
+            )
         if self._queue:
             self._start_service()
         else:
@@ -189,8 +273,8 @@ class SSD:
     def _on_bg_gc_done(self, event: Event) -> None:
         self._busy = False
         self._sample_gc_state(self.sim.now)
-        if self.gc_hook is not None:
-            self.gc_hook(self)
+        if self.hooks:
+            self.hooks(self)
         if self._queue:
             self._start_service()
         else:
@@ -241,11 +325,12 @@ class SSD:
             gc_us = self.scheme.run_gc(now) if self.scheme.needs_gc() else 0.0
         if gc_us > 0.0:
             self._sample_gc_state(now + gc_us)
-            if self.gc_hook is not None:
-                self.gc_hook(self)
+            if self.hooks:
+                self.hooks(self)
         return gc_us
 
     def _sample_gc_state(self, time_us: float) -> None:
+        self._gc_sample_us = time_us
         scheme = self.scheme
         self.timeline.sample("free_fraction", time_us, scheme.allocator.free_fraction())
         self.timeline.sample(
@@ -268,6 +353,8 @@ class SSD:
         service = timing.overhead_us + npages * buffer.dram_us
         if not evicted:
             return service
+        if self.tracer is not None:
+            self.tracer.instant("io", "destage", now, pages=len(evicted))
         gc_us, programs, hashed = self._destage_with_gc(evicted, now)
         service += timing.write_request_us(programs, self._channels)
         if hashed:
@@ -330,6 +417,14 @@ class SSD:
         return duration
 
 
-def run_trace(scheme: FTLScheme, trace: Trace) -> RunResult:
+def run_trace(
+    scheme: FTLScheme,
+    trace: Trace,
+    tracer=None,
+    telemetry=None,
+    heartbeat=None,
+) -> RunResult:
     """Convenience wrapper: replay ``trace`` on a fresh SSD."""
-    return SSD(scheme).replay(trace)
+    return SSD(
+        scheme, tracer=tracer, telemetry=telemetry, heartbeat=heartbeat
+    ).replay(trace)

@@ -27,6 +27,15 @@ class GCCounters:
     gc_invocations: int = 0
     #: total simulated time spent inside GC bursts (microseconds).
     gc_busy_us: float = 0.0
+    #: per-phase busy time attribution (microseconds): how long each
+    #: pipeline resource was occupied across all collections.  In the
+    #: overlapped CAGC pipeline these *sum to more than* ``gc_busy_us``
+    #: (that's the overlap the paper claims); in traditional serial GC
+    #: read + write + erase equals the makespan exactly.
+    gc_read_us: float = 0.0
+    gc_hash_us: float = 0.0
+    gc_write_us: float = 0.0
+    gc_erase_us: float = 0.0
 
     def merge_block(
         self,
@@ -35,6 +44,10 @@ class GCCounters:
         dedup_skipped: int = 0,
         promotions: int = 0,
         duration_us: float = 0.0,
+        read_us: float = 0.0,
+        hash_us: float = 0.0,
+        write_us: float = 0.0,
+        erase_us: float = 0.0,
     ) -> None:
         self.blocks_erased += 1
         self.pages_examined += pages_examined
@@ -42,6 +55,10 @@ class GCCounters:
         self.dedup_skipped += dedup_skipped
         self.promotions += promotions
         self.gc_busy_us += duration_us
+        self.gc_read_us += read_us
+        self.gc_hash_us += hash_us
+        self.gc_write_us += write_us
+        self.gc_erase_us += erase_us
 
 
 @dataclass

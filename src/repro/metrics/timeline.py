@@ -59,12 +59,32 @@ class TimelineRecorder:
 
     def resample(self, name: str, points: int = 50) -> Tuple[np.ndarray, np.ndarray]:
         """Step-interpolate a series onto an even time grid (for text
-        plots and comparisons between runs of different event counts)."""
+        plots and comparisons between runs of different event counts).
+
+        Degenerate series resample gracefully: an empty (or unknown)
+        series yields empty arrays, a single-sample series a constant
+        grid — short runs that trigger GC zero or one times must not
+        crash reporting.
+        """
+        if points < 1:
+            raise ValueError("points must be >= 1")
         times, values = self.series(name)
         if times.size == 0:
             return np.empty(0), np.empty(0)
-        if points < 2:
-            raise ValueError("points must be >= 2")
+        if times.size == 1:
+            return np.full(points, times[0]), np.full(points, values[0])
         grid = np.linspace(times[0], times[-1], points)
         idx = np.clip(np.searchsorted(times, grid, side="right") - 1, 0, times.size - 1)
         return grid, values[idx]
+
+    def to_dict(self) -> Dict[str, Dict[str, List[float]]]:
+        """All series as plain lists: ``{name: {"times_us", "values"}}``.
+
+        JSON-ready; :meth:`repro.obs.Tracer.add_counters_from` consumes
+        this shape to turn the timeline into Perfetto counter tracks.
+        """
+        out: Dict[str, Dict[str, List[float]]] = {}
+        for name in self.names():
+            times, values = self.series(name)
+            out[name] = {"times_us": times.tolist(), "values": values.tolist()}
+        return out

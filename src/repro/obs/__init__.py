@@ -1,0 +1,55 @@
+"""Structured run observability: tracing, telemetry, logging.
+
+The simulator's core claim is a *timing-overlap* claim — CAGC hides the
+fingerprint cost inside erase windows — so end-of-run aggregates are not
+enough to trust it.  This package adds the instrumentation layer the
+rest of the stack threads through:
+
+* :class:`Tracer` (``repro.obs.trace``) — typed spans and instant events
+  in simulated-time coordinates, one track per pipeline resource
+  (foreground I/O, GC phases, each hash lane), exportable as JSONL or
+  Chrome trace-event JSON loadable in Perfetto / ``chrome://tracing``;
+* :class:`RunTelemetry` + :class:`LatencyHistogram`
+  (``repro.obs.telemetry``) — fixed-bucket latency percentiles and
+  per-phase GC time attribution without storing every sample;
+* :mod:`repro.obs.log` — the one logger the CLI and scripts share
+  (``--quiet`` / ``--verbose``);
+* :class:`Heartbeat` (``repro.obs.heartbeat``) — wall-clock progress
+  lines (sim time, events/sec) to stderr for long replays;
+* :class:`HookMux` (``repro.obs.hooks``) — fan-out for ``SSD.gc_hook``
+  so oracle invariant checks and telemetry snapshots coexist.
+
+Every instrumentation site in the hot path is a single
+``if tracer is not None`` predicated call, so a run without a tracer
+pays one attribute test per site and nothing more — the property the
+``benchguard`` overhead test pins against ``BENCH_throughput.json``.
+"""
+
+from repro.obs.heartbeat import Heartbeat
+from repro.obs.hooks import HookMux
+from repro.obs.telemetry import LatencyHistogram, RunTelemetry
+from repro.obs.trace import (
+    TRACK_GC,
+    TRACK_GC_READ,
+    TRACK_GC_WRITE,
+    TRACK_IO,
+    TraceEvent,
+    Tracer,
+    hash_lane_track,
+    validate_chrome_trace,
+)
+
+__all__ = [
+    "Heartbeat",
+    "HookMux",
+    "LatencyHistogram",
+    "RunTelemetry",
+    "TRACK_GC",
+    "TRACK_GC_READ",
+    "TRACK_GC_WRITE",
+    "TRACK_IO",
+    "TraceEvent",
+    "Tracer",
+    "hash_lane_track",
+    "validate_chrome_trace",
+]

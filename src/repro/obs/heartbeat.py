@@ -1,0 +1,62 @@
+"""Wall-clock progress heartbeat for long replays.
+
+A multi-million-request FIU replay can run for minutes with nothing on
+the terminal.  :class:`Heartbeat` prints a short line to stderr every
+``interval_s`` wall seconds with the simulated time reached, requests
+completed, and the wall-clock event rate — enough to distinguish "slow
+but moving" from "hung".
+
+The device calls :meth:`tick` once per completed request *only when a
+heartbeat was requested* (a single ``is not None`` predicated call on
+the hot path).  ``tick`` itself is one ``time.monotonic()`` compare in
+the common case.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import IO, Optional
+
+
+class Heartbeat:
+    """Rate-limited progress reporter (wall-clock driven)."""
+
+    __slots__ = ("interval_s", "stream", "_start", "_next_due", "_last_events", "beats")
+
+    def __init__(self, interval_s: float = 5.0, stream: Optional[IO[str]] = None) -> None:
+        if interval_s < 0:
+            raise ValueError("interval_s must be non-negative")
+        self.interval_s = interval_s
+        self.stream = stream if stream is not None else sys.stderr
+        self._start = time.monotonic()
+        self._next_due = self._start + interval_s
+        self._last_events = 0
+        self.beats = 0
+
+    def tick(self, sim_now_us: float, events: int, requests: int) -> None:
+        """Called per completed request; prints when a beat is due."""
+        now = time.monotonic()
+        if now < self._next_due:
+            return
+        elapsed = now - self._start
+        rate = (events - self._last_events) / max(
+            now - (self._next_due - self.interval_s), 1e-9
+        )
+        self.stream.write(
+            f"[{elapsed:7.1f}s] sim {sim_now_us / 1e6:9.3f}s  "
+            f"{requests:,} reqs  {rate:,.0f} ev/s\n"
+        )
+        self.stream.flush()
+        self._last_events = events
+        self._next_due = now + self.interval_s
+        self.beats += 1
+
+    def finish(self, sim_now_us: float, events: int, requests: int) -> None:
+        """Final summary line (always printed)."""
+        elapsed = max(time.monotonic() - self._start, 1e-9)
+        self.stream.write(
+            f"[{elapsed:7.1f}s] done: sim {sim_now_us / 1e6:.3f}s, "
+            f"{requests:,} reqs, {events / elapsed:,.0f} ev/s overall\n"
+        )
+        self.stream.flush()

@@ -1,0 +1,79 @@
+"""The one logger the CLI, scripts and tools share.
+
+Status and diagnostic chatter goes through here (stderr, level-gated by
+``--quiet`` / ``--verbose``); *results* — report tables, experiment
+output — stay on stdout, because they are the program's product, not
+commentary about producing it.
+
+Usage::
+
+    from repro.obs import log
+    log.setup(verbosity=args.verbose - args.quiet)
+    log.info("warmed %d runs in %.1fs", n, wall)
+
+``setup`` is idempotent and safe to call from tests; handlers attach to
+the ``"cagc"`` logger only, never the root, so embedding applications
+keep control of global logging.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import Optional
+
+logger = logging.getLogger("cagc")
+
+debug = logger.debug
+info = logger.info
+warning = logger.warning
+error = logger.error
+
+_HANDLER: Optional[logging.Handler] = None
+
+
+def setup(verbosity: int = 0, stream=None) -> logging.Logger:
+    """Install the stderr handler and set the level.
+
+    ``verbosity`` is ``--verbose`` count minus ``--quiet`` count:
+    ``<= -1`` shows warnings and errors only, ``0`` (default) shows
+    info, ``>= 1`` shows debug.
+    """
+    global _HANDLER
+    if verbosity <= -1:
+        level = logging.WARNING
+    elif verbosity == 0:
+        level = logging.INFO
+    else:
+        level = logging.DEBUG
+    if _HANDLER is not None:
+        logger.removeHandler(_HANDLER)
+    _HANDLER = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    _HANDLER.setFormatter(logging.Formatter("%(message)s"))
+    logger.addHandler(_HANDLER)
+    logger.setLevel(level)
+    logger.propagate = False
+    return logger
+
+
+def add_verbosity_args(parser) -> None:
+    """Attach the shared ``-q`` / ``-v`` flags to an argparse parser."""
+    parser.add_argument(
+        "-v",
+        "--verbose",
+        action="count",
+        default=0,
+        help="show debug-level status messages",
+    )
+    parser.add_argument(
+        "-q",
+        "--quiet",
+        action="count",
+        default=0,
+        help="only show warnings and errors",
+    )
+
+
+def setup_from_args(args) -> logging.Logger:
+    """``setup`` from the flags ``add_verbosity_args`` installed."""
+    return setup(verbosity=getattr(args, "verbose", 0) - getattr(args, "quiet", 0))

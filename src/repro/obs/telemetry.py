@@ -1,0 +1,235 @@
+"""Run-level telemetry: bounded-memory percentiles and GC attribution.
+
+Two pieces:
+
+* :class:`LatencyHistogram` — fixed log-spaced buckets covering 0.1 µs
+  to ~100 s.  Recording is O(log buckets), memory is constant, and any
+  percentile is answerable afterwards to within one bucket's relative
+  width (~7%) — p50/p95/p99/p999 without storing half a million floats.
+* :class:`RunTelemetry` — the aggregator the device layer feeds.  It
+  subsumes the scattered end-of-run counters into one view: latency
+  percentiles (histogram), per-phase GC time attribution (read / hash /
+  write / erase busy time, carried by :class:`~repro.metrics.counters.
+  GCCounters` since the phase fields landed there), and periodic
+  sim-time snapshots into the device's existing
+  :class:`~repro.metrics.timeline.TimelineRecorder`, uniform across all
+  four schemes.
+
+``RunTelemetry.from_result`` builds the same view from a cached
+:class:`~repro.device.ssd.RunResult` (the ``cagc-repro report`` path),
+so live runs and cache hits render identically.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+#: Histogram geometry: bucket upper edges grow by ``_GROWTH`` per step
+#: from ``_FIRST_US``; values above the last edge land in an overflow
+#: bucket whose midpoint is the max recorded value.
+_FIRST_US = 0.1
+_GROWTH = 1.07
+_BUCKETS = 400  # 0.1us * 1.07^400 ~= 5.5e10 us >> any simulated run
+
+
+def _bucket_edges() -> np.ndarray:
+    return _FIRST_US * np.power(_GROWTH, np.arange(1, _BUCKETS + 1))
+
+
+class LatencyHistogram:
+    """Fixed-bucket latency histogram with percentile queries."""
+
+    _EDGES = _bucket_edges()
+
+    __slots__ = ("counts", "total", "max_us", "sum_us")
+
+    def __init__(self) -> None:
+        self.counts = np.zeros(_BUCKETS + 1, dtype=np.int64)  # +overflow
+        self.total = 0
+        self.max_us = 0.0
+        self.sum_us = 0.0
+
+    def record(self, latency_us: float) -> None:
+        """Add one sample (O(log buckets))."""
+        idx = int(np.searchsorted(self._EDGES, latency_us, side="left"))
+        self.counts[idx] += 1
+        self.total += 1
+        self.sum_us += latency_us
+        if latency_us > self.max_us:
+            self.max_us = latency_us
+
+    @classmethod
+    def from_samples(cls, samples: Sequence[float]) -> "LatencyHistogram":
+        """Bulk-build from an array (one vectorized pass)."""
+        hist = cls()
+        arr = np.asarray(samples, dtype=np.float64)
+        if arr.size == 0:
+            return hist
+        idx = np.searchsorted(cls._EDGES, arr, side="left")
+        np.add.at(hist.counts, idx, 1)
+        hist.total = int(arr.size)
+        hist.sum_us = float(arr.sum())
+        hist.max_us = float(arr.max())
+        return hist
+
+    def merge(self, other: "LatencyHistogram") -> None:
+        self.counts += other.counts
+        self.total += other.total
+        self.sum_us += other.sum_us
+        self.max_us = max(self.max_us, other.max_us)
+
+    # ------------------------------------------------------------------ queries
+
+    @property
+    def mean_us(self) -> float:
+        return self.sum_us / self.total if self.total else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Value at percentile ``p`` (0..100), to bucket resolution.
+
+        Returns the upper edge of the bucket holding the p-th sample
+        (the overflow bucket reports the recorded max).
+        """
+        if not 0.0 <= p <= 100.0:
+            raise ValueError(f"percentile {p} out of range")
+        if self.total == 0:
+            return 0.0
+        rank = math.ceil(self.total * p / 100.0)
+        rank = max(rank, 1)
+        cum = np.cumsum(self.counts)
+        idx = int(np.searchsorted(cum, rank, side="left"))
+        if idx >= _BUCKETS:
+            return self.max_us
+        return float(min(self._EDGES[idx], self.max_us))
+
+    def quantiles(self, ps: Sequence[float]) -> List[float]:
+        return [self.percentile(p) for p in ps]
+
+    def to_dict(self) -> dict:
+        """Sparse export: only occupied buckets."""
+        occupied = np.nonzero(self.counts)[0]
+        return {
+            "total": self.total,
+            "max_us": self.max_us,
+            "sum_us": self.sum_us,
+            "buckets": {int(i): int(self.counts[i]) for i in occupied},
+        }
+
+
+#: GC phases in attribution order (matches the pipeline's resources).
+GC_PHASES: Tuple[str, ...] = ("read", "hash", "write", "erase")
+
+
+class RunTelemetry:
+    """Live aggregator attached to a device (or built from a result).
+
+    When attached to an :class:`~repro.device.ssd.SSD` the device calls
+    :meth:`on_complete` once per finished request — a single predicated
+    call, only when telemetry was requested — which feeds the latency
+    histogram and, every ``snapshot_every_us`` of simulated time, a
+    uniform state snapshot into the device's timeline:
+    ``free_fraction``, ``blocks_erased``, ``pages_migrated``,
+    ``gc_busy_us`` — the same series for every scheme.
+    """
+
+    def __init__(self, snapshot_every_us: Optional[float] = None) -> None:
+        self.hist = LatencyHistogram()
+        self.snapshot_every_us = snapshot_every_us
+        self._next_snapshot_us = 0.0 if snapshot_every_us else math.inf
+        self.snapshots = 0
+
+    # ------------------------------------------------------------------ live path
+
+    def on_complete(self, now_us: float, latency_us: float, ssd) -> None:
+        """Per-request hook (device layer calls this when attached)."""
+        self.hist.record(latency_us)
+        if now_us >= self._next_snapshot_us:
+            self.snapshot(now_us, ssd)
+            # Skip ahead past any idle gap instead of emitting a backlog.
+            interval = self.snapshot_every_us or math.inf
+            self._next_snapshot_us = now_us + interval
+
+    def snapshot(self, now_us: float, ssd) -> None:
+        """Sample the uniform state series into the device timeline."""
+        scheme = ssd.scheme
+        timeline = ssd.timeline
+        timeline.sample("free_fraction", now_us, scheme.allocator.free_fraction())
+        gc = scheme.gc_counters
+        timeline.sample("blocks_erased", now_us, float(gc.blocks_erased))
+        timeline.sample("pages_migrated", now_us, float(gc.pages_migrated))
+        timeline.sample("gc_busy_us", now_us, gc.gc_busy_us)
+        self.snapshots += 1
+
+    # ------------------------------------------------------------------ reporting
+
+    @classmethod
+    def from_result(cls, result) -> "RunTelemetry":
+        """Build the reporting view from a (possibly cached)
+        :class:`~repro.device.ssd.RunResult`."""
+        telemetry = cls()
+        telemetry.hist = LatencyHistogram.from_samples(result.response_times_us)
+        return telemetry
+
+    @staticmethod
+    def gc_phase_breakdown(gc) -> Dict[str, float]:
+        """Per-phase GC busy time (µs) from a :class:`GCCounters`."""
+        return {
+            "read": gc.gc_read_us,
+            "hash": gc.gc_hash_us,
+            "write": gc.gc_write_us,
+            "erase": gc.gc_erase_us,
+        }
+
+    @staticmethod
+    def summary_rows(result) -> List[Tuple[str, str]]:
+        """(metric, value) rows for the ``report`` table."""
+        gc = result.gc
+        io = result.io
+        lat = result.latency
+        hist = LatencyHistogram.from_samples(result.response_times_us)
+        phases = RunTelemetry.gc_phase_breakdown(gc)
+        phase_total = sum(phases.values())
+        rows: List[Tuple[str, str]] = [
+            ("requests", f"{lat.count:,}"),
+            ("simulated time", f"{result.simulated_us / 1e6:.2f}s"),
+            ("mean / p50 response", f"{lat.mean_us:.1f} / {lat.median_us:.1f}us"),
+            (
+                "p95 / p99 / p999",
+                f"{lat.p95_us:.0f} / {lat.p99_us:.0f} / {lat.p999_us:.0f}us",
+            ),
+            (
+                "p99 (histogram)",
+                f"{hist.percentile(99.0):.0f}us ({hist.total:,} samples, "
+                f"{int(np.count_nonzero(hist.counts))} buckets)",
+            ),
+            ("write amplification", f"{result.write_amplification():.3f}"),
+            (
+                "GC dedup ratio",
+                f"{gc.dedup_skipped / gc.pages_examined:.1%}"
+                if gc.pages_examined
+                else "n/a",
+            ),
+            (
+                "inline dedup ratio",
+                f"{io.inline_dedup_hits / io.logical_pages_written:.1%}"
+                if io.logical_pages_written
+                else "n/a",
+            ),
+            ("blocks erased", f"{gc.blocks_erased:,}"),
+            ("pages migrated", f"{gc.pages_migrated:,}"),
+            ("promotions", f"{gc.promotions:,}"),
+            ("GC invocations", f"{gc.gc_invocations:,}"),
+            ("GC busy (makespan)", f"{gc.gc_busy_us / 1e3:.1f}ms"),
+        ]
+        for phase in GC_PHASES:
+            us = phases[phase]
+            share = f" ({us / phase_total:.0%})" if phase_total else ""
+            rows.append((f"GC {phase} busy", f"{us / 1e3:.1f}ms{share}"))
+        if result.buffer is not None:
+            rows.append(
+                ("buffer absorption", f"{result.buffer.absorption_ratio:.1%}")
+            )
+        return rows

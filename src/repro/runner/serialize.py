@@ -29,7 +29,8 @@ from repro.metrics.latency import LatencySummary
 from repro.ftl.wear import WearStats
 
 #: Bump on any incompatible change to the stored result layout.
-SCHEMA_VERSION = 1
+#: v2: GCCounters gained per-phase busy-time fields (gc_read_us, ...).
+SCHEMA_VERSION = 2
 
 
 class SchemaMismatchError(RuntimeError):

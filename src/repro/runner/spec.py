@@ -149,12 +149,17 @@ class RunSpec:
             placement = NeverColdPlacement(config)
         return CAGCScheme(config, policy=policy, placement=placement, **options)
 
-    def execute(self):
+    def execute(self, tracer=None, telemetry=None, heartbeat=None):
         """Run the simulation described by this spec (no caching).
 
         Mirrors the historical ``gc_efficiency_result`` construction
         exactly: ``seed=0`` replays the preset's canonical trace, other
         seeds draw an independent trace with the same characteristics.
+
+        ``tracer``/``telemetry``/``heartbeat`` attach :mod:`repro.obs`
+        observers to the replay (observers never enter the cache key:
+        they must not — and by construction cannot — change the
+        simulated outcome, only record it).
         """
         # Imported lazily: repro.experiments.common itself builds on the
         # runner, so a module-level import would be circular.
@@ -173,10 +178,12 @@ class RunSpec:
         if self.device == "parallel":
             from repro.device.parallel import ParallelSSD
 
-            return ParallelSSD(ftl).replay(trace)
+            return ParallelSSD(ftl, tracer=tracer, heartbeat=heartbeat).replay(trace)
         if self.device != "single":
             raise ValueError(f"unknown device {self.device!r}")
-        return run_trace(ftl, trace)
+        return run_trace(
+            ftl, trace, tracer=tracer, telemetry=telemetry, heartbeat=heartbeat
+        )
 
 
 def sweep_specs(

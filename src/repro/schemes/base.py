@@ -90,6 +90,14 @@ class GCBlockOutcome:
     pages_migrated: int
     dedup_skipped: int
     promotions: int
+    #: per-resource busy-time attribution (µs) for this block — how long
+    #: the read path / hash lanes / write path / erase were occupied.
+    #: Computed analytically from the page counts, so it costs nothing
+    #: on the hot path; folds into ``GCCounters.gc_*_us``.
+    read_us: float = 0.0
+    hash_us: float = 0.0
+    write_us: float = 0.0
+    erase_us: float = 0.0
 
 
 def _watermark_blocks(watermark: float, blocks: int) -> int:
@@ -138,6 +146,11 @@ class FTLScheme(abc.ABC):
         #: content fingerprint of every live physical page.
         self.page_fp: Dict[int, int] = {}
         self.policy = policy if policy is not None else make_policy("greedy")
+        #: Optional :class:`repro.obs.Tracer`.  The device layer sets
+        #: this when the run is traced; every instrumentation site below
+        #: is predicated on ``tracer is not None`` so an untraced run
+        #: pays one attribute test per site.
+        self.tracer = None
         #: Incremental GC candidate index; kept in sync by the flash
         #: array's mutation hooks from here on.
         self.victim_index = VictimIndex(self.flash)
@@ -265,6 +278,9 @@ class FTLScheme(abc.ABC):
         if not self.needs_gc():
             return 0.0
         self.gc_counters.gc_invocations += 1
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.begin("gc", "gc-burst", now_us, free_blocks=self.allocator.free_blocks)
         duration = 0.0
         stop = self._gc_stop_blocks
         burst = 0
@@ -278,8 +294,15 @@ class FTLScheme(abc.ABC):
             )
             if victim is None:
                 break
+            if tracer is not None:
+                tracer.instant("gc", "victim-select", now_us + duration, victim=victim)
             outcome = self.collect_block(victim, now_us + duration)
             duration += outcome.duration_us
+        if tracer is not None:
+            tracer.end(
+                "gc", now_us + duration,
+                blocks=burst, free_blocks=self.allocator.free_blocks,
+            )
         return duration
 
     def collect_next(self, now_us: float) -> float:
@@ -293,6 +316,9 @@ class FTLScheme(abc.ABC):
         victim = self.policy.select_indexed(self.flash, self.victim_index, now_us)
         if victim is None:
             return 0.0
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.instant("gc", "victim-select", now_us, victim=victim, idle=True)
         return self.collect_block(victim, now_us).duration_us
 
     def reserve_blocks(self) -> int:
@@ -309,14 +335,28 @@ class FTLScheme(abc.ABC):
         for ppn in valid:
             self._migrate_page(ppn, self._migration_region(ppn), now_us)
         self._erase_victim(victim)
+        timing = self.timing
+        n = len(valid)
         outcome = GCBlockOutcome(
             victim=victim,
-            duration_us=self.timing.gc_migrate_us(len(valid)),
-            pages_examined=len(valid),
-            pages_migrated=len(valid),
+            duration_us=timing.gc_migrate_us(n),
+            pages_examined=n,
+            pages_migrated=n,
             dedup_skipped=0,
             promotions=0,
+            read_us=n * timing.read_us,
+            hash_us=0.0,
+            write_us=n * timing.write_us,
+            erase_us=timing.erase_us,
         )
+        tracer = self.tracer
+        if tracer is not None:
+            # Traditional serial GC (Fig 3): each page is read then
+            # rewritten back-to-back, so one copy span plus the erase
+            # tells the whole per-block story.
+            copy_us = n * (timing.read_us + timing.write_us)
+            tracer.span("gc", "copy-valid", now_us, copy_us, victim=victim, pages=n)
+            tracer.span("gc", "erase", now_us + copy_us, timing.erase_us, victim=victim)
         self._account_gc(outcome)
         return outcome
 
@@ -330,6 +370,10 @@ class FTLScheme(abc.ABC):
             dedup_skipped=outcome.dedup_skipped,
             promotions=outcome.promotions,
             duration_us=outcome.duration_us,
+            read_us=outcome.read_us,
+            hash_us=outcome.hash_us,
+            write_us=outcome.write_us,
+            erase_us=outcome.erase_us,
         )
 
     def _migration_region(self, ppn: int) -> int:

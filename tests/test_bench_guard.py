@@ -68,3 +68,17 @@ def test_hot_loop_within_threshold_of_baseline(guard_module):
     # several shots at a quiet scheduling window on small CI boxes.
     rc = guard_module.run_check(BASELINE, threshold=0.25, rounds=7, attempts=3)
     assert rc == 0, "hot loop regressed >25% vs committed BENCH_throughput.json"
+
+
+def test_disabled_instrumentation_overhead_within_2pct(guard_module):
+    # The repro.obs contract: every tracing/telemetry site on the hot
+    # path is one predicated `x is not None` test when no observer is
+    # attached, so an untraced replay must stay within 2% of the
+    # committed baseline (which was itself recorded with observers
+    # disabled).  Fresh min-of-rounds vs baseline median, same policy as
+    # the 25% trajectory guard, just a far tighter bar.
+    rc = guard_module.run_check(BASELINE, threshold=0.02, rounds=7, attempts=4)
+    assert rc == 0, (
+        "disabled-instrumentation replay exceeded the committed "
+        "BENCH_throughput.json baseline by more than 2%"
+    )

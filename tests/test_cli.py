@@ -133,7 +133,7 @@ class TestSimulateCommand:
                 "simulate",
                 "--scheme",
                 "baseline",
-                "--trace",
+                "--replay",
                 str(out),
                 "--blocks",
                 "64",
@@ -148,3 +148,131 @@ class TestSimulateCommand:
         )
         assert rc == 0
         assert "preemptive" in capsys.readouterr().out
+
+    def test_simulate_writes_valid_chrome_trace(self, tmp_path, capsys):
+        # ISSUE acceptance criterion: a cagc run with --trace/--trace-format
+        # chrome yields a schema-valid file with distinct tracks for
+        # foreground I/O, GC phases, and hash lanes.
+        import json
+
+        from repro.obs import validate_chrome_trace
+
+        out = tmp_path / "run.json"
+        rc = main(
+            [
+                "simulate",
+                "--scheme",
+                "cagc",
+                "--preset",
+                "homes",
+                "--blocks",
+                "64",
+                "--pages-per-block",
+                "16",
+                "--fill-factor",
+                "2.0",
+                "--trace",
+                str(out),
+                "--trace-format",
+                "chrome",
+            ]
+        )
+        assert rc == 0
+        tracks = validate_chrome_trace(json.loads(out.read_text()))
+        assert "io" in tracks
+        assert "gc" in tracks
+        assert "gc.read" in tracks and "gc.write" in tracks
+        assert any(t.startswith("hash-lane-") for t in tracks)
+        assert "wrote" in capsys.readouterr().err
+
+    def test_simulate_writes_jsonl_trace(self, tmp_path):
+        import json
+
+        out = tmp_path / "run.jsonl"
+        rc = main(
+            [
+                "simulate",
+                "--scheme",
+                "baseline",
+                "--preset",
+                "homes",
+                "--blocks",
+                "64",
+                "--pages-per-block",
+                "16",
+                "--fill-factor",
+                "2.0",
+                "--trace",
+                str(out),
+                "--trace-format",
+                "jsonl",
+                "--quiet",
+            ]
+        )
+        assert rc == 0
+        events = [json.loads(line) for line in out.read_text().splitlines()]
+        assert events
+        assert {"kind", "track", "name", "ts_us"} <= set(events[0])
+
+    def test_quiet_flag_suppresses_status(self, tmp_path, capsys):
+        out = tmp_path / "run.jsonl"
+        main(
+            [
+                "simulate",
+                "--scheme",
+                "baseline",
+                "--preset",
+                "homes",
+                "--blocks",
+                "64",
+                "--pages-per-block",
+                "16",
+                "--fill-factor",
+                "2.0",
+                "--trace",
+                str(out),
+                "-q",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert "wrote" not in captured.err
+        assert "blocks erased" in captured.out  # results stay on stdout
+
+
+class TestReportCommand:
+    def test_report_renders_telemetry_table(self, capsys):
+        rc = main(
+            ["report", "--workload", "homes", "--scheme", "cagc", "--scale", "quick"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        for key in (
+            "write amplification",
+            "GC dedup ratio",
+            "p95 / p99 / p999",
+            "GC read busy",
+            "GC erase busy",
+        ):
+            assert key in out, key
+
+    def test_report_json_out(self, tmp_path):
+        import json
+
+        out = tmp_path / "report.json"
+        rc = main(
+            [
+                "report",
+                "--workload",
+                "homes",
+                "--scheme",
+                "baseline",
+                "--scale",
+                "quick",
+                "--out",
+                str(out),
+            ]
+        )
+        assert rc == 0
+        doc = json.loads(out.read_text())
+        assert doc["run"].startswith("homes/baseline/")
+        assert "blocks erased" in doc["metrics"]

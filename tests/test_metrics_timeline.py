@@ -53,11 +53,31 @@ class TestRecorder:
         tl = TimelineRecorder()
         tl.sample("x", 0.0, 1.0)
         with pytest.raises(ValueError):
-            tl.resample("x", points=1)
+            tl.resample("x", points=0)
+
+    def test_resample_single_sample_is_constant(self):
+        tl = TimelineRecorder()
+        tl.sample("x", 3.0, 7.0)
+        grid, values = tl.resample("x", points=4)
+        assert grid.tolist() == [3.0, 3.0, 3.0, 3.0]
+        assert values.tolist() == [7.0, 7.0, 7.0, 7.0]
 
     def test_resample_empty(self):
         grid, values = TimelineRecorder().resample("x")
         assert grid.size == 0
+
+    def test_to_dict_round_trip(self):
+        tl = TimelineRecorder()
+        tl.sample("free", 0.0, 1.0)
+        tl.sample("free", 10.0, 0.5)
+        tl.sample("erased", 10.0, 2.0)
+        doc = tl.to_dict()
+        assert sorted(doc) == ["erased", "free"]
+        assert doc["free"] == {"times_us": [0.0, 10.0], "values": [1.0, 0.5]}
+        # plain lists, JSON-serializable as-is
+        import json
+
+        json.dumps(doc)
 
 
 class TestDeviceIntegration:

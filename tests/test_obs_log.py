@@ -1,0 +1,96 @@
+"""Tests for the shared logger and the wall-clock heartbeat."""
+
+from __future__ import annotations
+
+import argparse
+import io
+import logging
+
+import pytest
+
+from repro.obs import Heartbeat
+from repro.obs import log
+
+
+@pytest.fixture(autouse=True)
+def _restore_logger():
+    yield
+    # leave the module in its default state for other tests
+    log.setup(verbosity=0)
+
+
+class TestLog:
+    def test_levels_follow_verbosity(self):
+        assert log.setup(verbosity=-1).level == logging.WARNING
+        assert log.setup(verbosity=0).level == logging.INFO
+        assert log.setup(verbosity=2).level == logging.DEBUG
+
+    def test_setup_is_idempotent(self):
+        log.setup()
+        log.setup()
+        assert len(log.logger.handlers) == 1
+        assert log.logger.propagate is False
+
+    def test_messages_respect_level(self):
+        stream = io.StringIO()
+        log.setup(verbosity=-1, stream=stream)
+        log.info("hidden")
+        log.warning("shown")
+        assert stream.getvalue() == "shown\n"
+
+    def test_argparse_flags_round_trip(self):
+        parser = argparse.ArgumentParser()
+        log.add_verbosity_args(parser)
+        args = parser.parse_args(["-q", "-q"])
+        assert log.setup_from_args(args).level == logging.WARNING
+        args = parser.parse_args(["-v"])
+        assert log.setup_from_args(args).level == logging.DEBUG
+
+    def test_logger_name_is_shared(self):
+        assert log.logger is logging.getLogger("cagc")
+
+
+class TestHeartbeat:
+    def test_zero_interval_prints_every_tick(self):
+        stream = io.StringIO()
+        hb = Heartbeat(interval_s=0.0, stream=stream)
+        hb.tick(1_000_000.0, events=10, requests=5)
+        hb.tick(2_000_000.0, events=20, requests=10)
+        lines = stream.getvalue().splitlines()
+        assert len(lines) == 2
+        assert hb.beats == 2
+        assert "sim" in lines[0] and "reqs" in lines[0]
+
+    def test_long_interval_stays_quiet(self):
+        stream = io.StringIO()
+        hb = Heartbeat(interval_s=3600.0, stream=stream)
+        for i in range(100):
+            hb.tick(float(i), events=i, requests=i)
+        assert stream.getvalue() == ""
+        assert hb.beats == 0
+
+    def test_finish_always_prints_summary(self):
+        stream = io.StringIO()
+        hb = Heartbeat(interval_s=3600.0, stream=stream)
+        hb.finish(5_000_000.0, events=1234, requests=600)
+        out = stream.getvalue()
+        assert "done" in out
+        assert "600 reqs" in out
+
+    def test_negative_interval_rejected(self):
+        with pytest.raises(ValueError):
+            Heartbeat(interval_s=-1.0)
+
+    def test_device_drives_heartbeat(self):
+        from repro.config import small_config
+        from repro.device.ssd import run_trace
+        from repro.schemes import make_scheme
+        from repro.workloads.fiu import build_fiu_trace
+
+        cfg = small_config(blocks=64, pages_per_block=16)
+        trace = build_fiu_trace("homes", cfg, n_requests=200)
+        stream = io.StringIO()
+        hb = Heartbeat(interval_s=0.0, stream=stream)
+        run_trace(make_scheme("baseline", cfg), trace, heartbeat=hb)
+        assert hb.beats == 200  # one per completed request
+        assert "done" in stream.getvalue()  # finish() summary from replay()

@@ -1,0 +1,303 @@
+"""Tests for span tracing: recording, nesting, export, validation.
+
+Covers the tentpole acceptance path — a default-config cagc run traced
+to Chrome trace-event JSON must validate against the schema and show
+distinct tracks for foreground I/O, GC phases and hash lanes — plus
+golden-file stability of the pipeline export and span-ordering
+properties under adversarial fuzz workloads.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.config import TimingConfig, small_config
+from repro.core.pipeline import GCPipeline
+from repro.device.ssd import SSD, run_trace
+from repro.flash.timing import FlashTiming
+from repro.obs import (
+    TRACK_GC,
+    TRACK_GC_READ,
+    TRACK_GC_WRITE,
+    TRACK_IO,
+    Tracer,
+    hash_lane_track,
+    validate_chrome_trace,
+)
+from repro.schemes import make_scheme
+from repro.workloads.fiu import build_fiu_trace
+
+GOLDEN = Path(__file__).parent / "data" / "pipeline_trace_golden.json"
+
+
+class TestTracerRecording:
+    def test_span_instant_counter(self):
+        tr = Tracer()
+        tr.span("io", "write", 10.0, 5.0, lpn=3)
+        tr.instant("gc", "victim-select", 12.0, victim=7)
+        tr.counter("timeline", "free_blocks", 15.0, 42.0)
+        events = list(tr.events())
+        assert [e.kind for e in events] == ["span", "instant", "counter"]
+        assert events[0].args == {"lpn": 3}
+        assert events[1].dur_us is None
+        assert events[2].value == 42.0
+        assert len(tr) == 3
+
+    def test_begin_end_nesting(self):
+        tr = Tracer()
+        tr.begin("gc", "burst", 0.0)
+        tr.begin("gc", "block", 1.0)
+        assert tr.open_spans("gc") == 2
+        tr.end("gc", 5.0)
+        tr.end("gc", 10.0, blocks=1)
+        assert tr.open_spans("gc") == 0
+        inner, outer = tr.spans("gc")
+        assert (inner.name, inner.ts_us, inner.dur_us) == ("block", 1.0, 4.0)
+        assert (outer.name, outer.ts_us, outer.dur_us) == ("burst", 0.0, 10.0)
+        assert outer.args == {"blocks": 1}
+        # inner closed first => well-nested: inner interval inside outer
+        assert outer.ts_us <= inner.ts_us
+        assert inner.ts_us + inner.dur_us <= outer.ts_us + outer.dur_us
+
+    def test_end_without_begin_raises(self):
+        tr = Tracer()
+        with pytest.raises(ValueError, match="no open span"):
+            tr.end("gc", 1.0)
+
+    def test_limit_drops_gracefully(self):
+        tr = Tracer(limit=2)
+        for i in range(5):
+            tr.instant("io", "x", float(i))
+        assert len(tr) == 2
+        assert tr.dropped == 3
+
+    def test_tracks_first_seen_order(self):
+        tr = Tracer()
+        tr.instant("b", "x", 0.0)
+        tr.instant("a", "x", 1.0)
+        tr.instant("b", "y", 2.0)
+        assert tr.tracks() == ["b", "a"]
+
+    def test_add_counters_from_timeline_dict(self):
+        tr = Tracer()
+        tr.add_counters_from(
+            {"free": {"times_us": [0.0, 5.0], "values": [1.0, 0.5]}},
+            track="timeline",
+        )
+        events = list(tr.events())
+        assert [e.value for e in events] == [1.0, 0.5]
+        assert all(e.track == "timeline" for e in events)
+
+
+class TestChromeExport:
+    def test_export_validates_and_names_tracks(self):
+        tr = Tracer()
+        tr.span(TRACK_IO, "write", 0.0, 3.0)
+        tr.instant(TRACK_GC, "victim-select", 1.0, victim=2)
+        tr.counter("timeline", "free_blocks", 2.0, 9.0)
+        doc = tr.to_chrome()
+        tracks = validate_chrome_trace(doc)
+        assert tracks == [TRACK_IO, TRACK_GC, "timeline"]
+        assert doc["displayTimeUnit"] == "ms"
+
+    def test_counter_args_are_numeric(self):
+        tr = Tracer()
+        tr.counter("t", "free", 0.0, 1.5)
+        rows = [e for e in tr.to_chrome()["traceEvents"] if e["ph"] == "C"]
+        assert rows[0]["args"] == {"free": 1.5}
+
+    def test_invalid_documents_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            validate_chrome_trace({"traceEvents": []})
+        with pytest.raises(ValueError, match="unknown phase"):
+            validate_chrome_trace(
+                {"traceEvents": [{"ph": "Z", "pid": 1, "tid": 1, "name": "x"}]}
+            )
+        with pytest.raises(ValueError, match="thread_name"):
+            validate_chrome_trace(
+                {
+                    "traceEvents": [
+                        {"ph": "i", "pid": 1, "tid": 1, "name": "x", "ts": 0, "s": "t"}
+                    ]
+                }
+            )
+
+    def test_jsonl_round_trips_events(self, tmp_path):
+        tr = Tracer()
+        tr.span("io", "read", 1.0, 2.0, lpn=9)
+        tr.instant("gc", "promote", 3.0)
+        path = tmp_path / "t.jsonl"
+        tr.write(path, fmt="jsonl")
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        assert lines[0] == {
+            "kind": "span", "track": "io", "name": "read",
+            "ts_us": 1.0, "dur_us": 2.0, "args": {"lpn": 9},
+        }
+        assert lines[1]["kind"] == "instant"
+
+    def test_unknown_format_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="unknown trace format"):
+            Tracer().write(tmp_path / "t", fmt="protobuf")
+
+
+def _pipeline_trace() -> Tracer:
+    """The tiny deterministic run behind the golden file: three pages
+    (migrate, dedup-hit, dedup-hit-with-promotion) through the CAGC
+    pipeline at the paper's Table I timings."""
+    tracer = Tracer()
+    timing = FlashTiming(TimingConfig())
+    pipe = GCPipeline(timing, tracer=tracer, base_us=100.0)
+    pipe.process_page(write=True, ppn=0)
+    pipe.process_page(write=False, ppn=1)
+    pipe.extra_copy(ppn=2)
+    pipe.finish()
+    return tracer
+
+
+class TestGoldenFile:
+    def test_pipeline_chrome_export_matches_golden(self):
+        # Golden pin: the Chrome export of a fixed pipeline run.  Timing
+        # constants come from the paper's Table I, so this only changes
+        # if the export format or the pipeline model changes — both of
+        # which *should* show up in review as a golden-file diff.
+        doc = _pipeline_trace().to_chrome()
+        golden = json.loads(GOLDEN.read_text())
+        assert doc == golden
+
+    def test_golden_file_is_valid_chrome_trace(self):
+        tracks = validate_chrome_trace(json.loads(GOLDEN.read_text()))
+        assert TRACK_GC_READ in tracks
+        assert TRACK_GC_WRITE in tracks
+        assert hash_lane_track(0) in tracks
+
+
+def _traced_run(scheme_name="cagc", gc_mode="blocking", seed=None):
+    if seed is None:
+        cfg = small_config(blocks=64, pages_per_block=16, gc_mode=gc_mode)
+        trace = build_fiu_trace("homes", cfg, n_requests=0, fill_factor=2.0)
+    else:
+        # The oracle's fuzz profiles are engineered to trigger GC on a
+        # tiny device — exactly the adversarial coverage we want here.
+        import dataclasses
+
+        from repro.oracle import fuzz_config, fuzz_trace
+
+        cfg = dataclasses.replace(fuzz_config(), gc_mode=gc_mode)
+        trace = fuzz_trace(seed, cfg, n_requests=300)
+    tracer = Tracer()
+    result = run_trace(make_scheme(scheme_name, cfg), trace, tracer=tracer)
+    return tracer, result
+
+
+class TestAcceptance:
+    def test_cagc_run_produces_valid_chrome_trace_with_distinct_tracks(
+        self, tmp_path
+    ):
+        # The ISSUE acceptance criterion, minus the CLI plumbing (covered
+        # in test_cli.py): a cagc run traced to chrome format validates
+        # and separates foreground I/O, GC phases and hash lanes.
+        tracer, _ = _traced_run()
+        path = tmp_path / "out.json"
+        tracer.write(path, fmt="chrome")
+        tracks = validate_chrome_trace(json.loads(path.read_text()))
+        assert TRACK_IO in tracks
+        assert TRACK_GC in tracks
+        assert TRACK_GC_READ in tracks
+        assert TRACK_GC_WRITE in tracks
+        assert any(t.startswith("hash-lane-") for t in tracks)
+
+    def test_tracing_does_not_change_results(self):
+        cfg = small_config(blocks=64, pages_per_block=16)
+        trace = build_fiu_trace("mail", cfg, n_requests=0, fill_factor=2.0)
+        plain = run_trace(make_scheme("cagc", cfg), trace)
+        traced = run_trace(make_scheme("cagc", cfg), trace, tracer=Tracer())
+        assert plain.latency.mean_us == traced.latency.mean_us
+        assert vars(plain.gc) == vars(traced.gc)
+        assert plain.simulated_us == traced.simulated_us
+
+
+def _assert_no_overlap(spans, eps=1e-6):
+    ordered = sorted(spans, key=lambda e: e.ts_us)
+    for prev, cur in zip(ordered, ordered[1:]):
+        assert cur.ts_us >= prev.ts_us + prev.dur_us - eps, (
+            f"overlap on {cur.track}: {prev} then {cur}"
+        )
+
+
+class TestSpanProperties:
+    """Structural properties that must hold for *any* workload."""
+
+    @pytest.mark.parametrize("seed", [0, 3, 7, 11])
+    @pytest.mark.parametrize("gc_mode", ["blocking", "preemptive"])
+    def test_fuzz_traces_produce_well_formed_spans(self, seed, gc_mode):
+        tracer, result = _traced_run("cagc", gc_mode=gc_mode, seed=seed)
+        for e in tracer.events():
+            assert e.ts_us >= 0.0
+            if e.kind == "span":
+                assert e.dur_us >= 0.0
+        # every begin() was matched by an end()
+        for track in tracer.tracks():
+            assert tracer.open_spans(track) == 0
+        # single-server resources never overlap themselves
+        _assert_no_overlap(tracer.spans(TRACK_IO))
+        _assert_no_overlap(tracer.spans(TRACK_GC_READ))
+        _assert_no_overlap(tracer.spans(TRACK_GC_WRITE))
+        for track in tracer.tracks():
+            if track.startswith("hash-lane-"):
+                _assert_no_overlap(tracer.spans(track))
+
+    @pytest.mark.parametrize("seed", [0, 5])
+    def test_gc_events_fall_inside_gc_bursts(self, seed):
+        tracer, result = _traced_run("cagc", seed=seed)
+        bursts = [e for e in tracer.spans(TRACK_GC) if e.name == "gc-burst"]
+        assert len(bursts) == result.gc.gc_invocations
+
+        def inside(ts):
+            return any(b.ts_us - 1e-6 <= ts <= b.ts_us + b.dur_us + 1e-6 for b in bursts)
+
+        selects = [
+            e
+            for e in tracer.events()
+            if e.name == "victim-select" and not (e.args or {}).get("idle")
+        ]
+        assert selects, "no victim selections traced"
+        for e in selects:
+            assert inside(e.ts_us), f"victim-select at {e.ts_us} outside all bursts"
+
+    def test_victim_count_matches_counters(self):
+        tracer, result = _traced_run("baseline")
+        selects = [e for e in tracer.events() if e.name == "victim-select"]
+        assert len(selects) == result.gc.blocks_erased
+        erases = [e for e in tracer.spans(TRACK_GC) if e.name == "erase"]
+        assert len(erases) == result.gc.blocks_erased
+
+
+class TestDeviceIntegration:
+    def test_ssd_sets_scheme_tracer(self):
+        cfg = small_config(blocks=64, pages_per_block=16)
+        scheme = make_scheme("cagc", cfg)
+        tracer = Tracer()
+        ssd = SSD(scheme, tracer=tracer)
+        assert scheme.tracer is tracer
+        assert ssd.tracer is tracer
+
+    def test_untraced_scheme_has_no_tracer(self):
+        cfg = small_config(blocks=64, pages_per_block=16)
+        scheme = make_scheme("cagc", cfg)
+        SSD(scheme)
+        assert scheme.tracer is None
+
+    def test_parallel_device_traces_per_channel(self):
+        from repro.device.parallel import ParallelSSD
+
+        cfg = small_config(blocks=64, pages_per_block=16, channels=2)
+        trace = build_fiu_trace("homes", cfg, n_requests=0, fill_factor=2.0)
+        tracer = Tracer()
+        ParallelSSD(make_scheme("baseline", cfg), tracer=tracer).replay(trace)
+        io_tracks = [t for t in tracer.tracks() if t.startswith("io.ch")]
+        assert len(io_tracks) >= 2
+        for track in io_tracks:
+            _assert_no_overlap(tracer.spans(track))

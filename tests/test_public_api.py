@@ -34,6 +34,12 @@ class TestTopLevelExports:
             "repro.metrics",
             "repro.metrics.timeline",
             "repro.experiments",
+            "repro.obs",
+            "repro.obs.trace",
+            "repro.obs.telemetry",
+            "repro.obs.log",
+            "repro.obs.heartbeat",
+            "repro.obs.hooks",
             "repro.cli",
         ],
     )
@@ -43,7 +49,7 @@ class TestTopLevelExports:
     @pytest.mark.parametrize(
         "package",
         ["repro.sim", "repro.flash", "repro.ftl", "repro.dedup", "repro.schemes",
-         "repro.device", "repro.workloads", "repro.metrics"],
+         "repro.device", "repro.workloads", "repro.metrics", "repro.obs"],
     )
     def test_package_all_resolves(self, package):
         mod = importlib.import_module(package)

@@ -32,6 +32,7 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.config import small_config  # noqa: E402
 from repro.device.ssd import run_trace  # noqa: E402
+from repro.obs import log  # noqa: E402
 from repro.schemes import make_scheme  # noqa: E402
 from repro.workloads.fiu import build_fiu_trace  # noqa: E402
 
@@ -132,7 +133,9 @@ def main(argv=None) -> int:
         default=str(DEFAULT_OUT),
         help="output path, or '-' for stdout (default: BENCH_throughput.json)",
     )
+    log.add_verbosity_args(parser)
     args = parser.parse_args(argv)
+    log.setup_from_args(args)
     snapshot = take_snapshot(rounds=args.rounds)
     payload = json.dumps(snapshot, indent=2, sort_keys=True) + "\n"
     if args.out == "-":
@@ -140,8 +143,8 @@ def main(argv=None) -> int:
     else:
         Path(args.out).write_text(payload)
         for scheme_name, case in snapshot["replay"].items():
-            print(f"{scheme_name:>14}: {case['median_us_per_op']:.1f} us/op")
-        print(f"wrote {args.out}")
+            log.info("%14s: %.1f us/op", scheme_name, case["median_us_per_op"])
+        log.info("wrote %s", args.out)
     return 0
 
 
