@@ -5,9 +5,12 @@ Takes a fresh throughput snapshot (same cases as
 ``tools/bench_snapshot.py``) and compares it against the committed
 ``BENCH_throughput.json`` baseline.  A case regresses when its fresh
 **best-of-rounds** us/op exceeds the baseline *median* by more than the
-threshold (default 25%).  Comparing fresh-min against baseline-median is
-deliberate: min-of-rounds is robust to load spikes on shared CI boxes,
-so the guard only trips on real slowdowns, not noisy neighbours.
+threshold (default 25%), or when its per-case ``peak_rss_mb`` (measured
+in an isolated child interpreter) exceeds the baseline's by more than
+the RSS threshold (default 35%).  Comparing fresh-min against
+baseline-median is deliberate: min-of-rounds is robust to load spikes
+on shared CI boxes, so the guard only trips on real slowdowns, not
+noisy neighbours.
 
 Exit status: 0 = no regression, 1 = regression, 2 = snapshots
 incomparable (schema mismatch or missing baseline).
@@ -16,6 +19,7 @@ Usage::
 
     PYTHONPATH=src python scripts/check_bench_regression.py
     PYTHONPATH=src python scripts/check_bench_regression.py --threshold 0.10 --rounds 7
+    PYTHONPATH=src python scripts/check_bench_regression.py --cases baseline@64x,cagc@64x
 
 Also wired into pytest as the opt-in ``benchguard`` marker::
 
@@ -28,7 +32,7 @@ import argparse
 import json
 import sys
 from pathlib import Path
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
@@ -41,20 +45,30 @@ from bench_snapshot import (  # noqa: E402
 
 DEFAULT_BASELINE = REPO_ROOT / "BENCH_throughput.json"
 DEFAULT_THRESHOLD = 0.25
+#: Memory gate: per-case peak RSS is measured in a fresh child
+#: interpreter, so run-to-run noise is small (allocator arena rounding,
+#: import-order effects) — but a columnar store silently reverting to
+#: boxed dicts is a >2x jump, far beyond this allowance.
+DEFAULT_RSS_THRESHOLD = 0.35
 
 
 def _fresh_best_us_per_op(case: Dict[str, float]) -> float:
-    # Schema 2 records the op count per case (cases run at different
+    # Schema >=2 records the op count per case (cases run at different
     # geometries replay different trace lengths).
     return case["min_wall_s"] * 1e6 / case["ops"]
 
 
 def compare(
-    baseline: dict, fresh: dict, threshold: float = DEFAULT_THRESHOLD
+    baseline: dict,
+    fresh: dict,
+    threshold: float = DEFAULT_THRESHOLD,
+    rss_threshold: float = DEFAULT_RSS_THRESHOLD,
 ) -> List[Tuple[str, float, float, float]]:
-    """Regressed cases as ``(name, baseline_us, fresh_us, ratio)``.
+    """Regressed cases as ``(name, baseline_val, fresh_val, ratio)``.
 
-    Raises ``ValueError`` when the snapshots are incomparable.
+    Timing rows are us/op; RSS rows are MB and carry an ``[rss]``
+    suffix on the name.  Raises ``ValueError`` when the snapshots are
+    incomparable.
     """
     if baseline.get("schema") != fresh.get("schema"):
         raise ValueError(
@@ -71,23 +85,51 @@ def compare(
         fresh_us = _fresh_best_us_per_op(case)
         if fresh_us > base_us * (1.0 + threshold):
             regressions.append((f"replay/{name}", base_us, fresh_us, fresh_us / base_us))
+        base_rss = base_case.get("peak_rss_mb")
+        fresh_rss = case.get("peak_rss_mb")
+        # Only gate RSS when both snapshots measured it per-case
+        # (isolated children); in-process snapshots report cumulative
+        # high-water marks that are not comparable.
+        if (
+            base_rss is not None
+            and fresh_rss is not None
+            and fresh.get("isolated", False)
+            and fresh_rss > base_rss * (1.0 + rss_threshold)
+        ):
+            regressions.append(
+                (f"replay/{name}[rss]", base_rss, fresh_rss, fresh_rss / base_rss)
+            )
     base_gen = baseline.get("trace_generation")
-    if base_gen is not None:
+    fresh_gen = fresh.get("trace_generation")
+    if base_gen is not None and fresh_gen is not None:
         base_us = base_gen["median_us_per_op"]
-        fresh_us = _fresh_best_us_per_op(fresh["trace_generation"])
+        fresh_us = _fresh_best_us_per_op(fresh_gen)
         if fresh_us > base_us * (1.0 + threshold):
             regressions.append(("trace_generation", base_us, fresh_us, fresh_us / base_us))
     return regressions
 
 
 def _merge_best(into: dict, fresh: dict) -> dict:
-    """Keep the fastest observation per case across snapshot attempts."""
+    """Keep the fastest (and leanest) observation per case across
+    snapshot attempts."""
     for name, case in fresh["replay"].items():
         best = into["replay"].setdefault(name, case)
         if case["min_wall_s"] < best["min_wall_s"]:
+            rss = min(
+                case.get("peak_rss_mb", float("inf")),
+                best.get("peak_rss_mb", float("inf")),
+            )
             into["replay"][name] = case
-    if fresh["trace_generation"]["min_wall_s"] < into["trace_generation"]["min_wall_s"]:
-        into["trace_generation"] = fresh["trace_generation"]
+            if rss != float("inf"):
+                case["peak_rss_mb"] = rss
+        elif "peak_rss_mb" in case and "peak_rss_mb" in best:
+            best["peak_rss_mb"] = min(best["peak_rss_mb"], case["peak_rss_mb"])
+    fresh_gen = fresh.get("trace_generation")
+    into_gen = into.get("trace_generation")
+    if fresh_gen is not None and (
+        into_gen is None or fresh_gen["min_wall_s"] < into_gen["min_wall_s"]
+    ):
+        into["trace_generation"] = fresh_gen
     return into
 
 
@@ -96,6 +138,8 @@ def run_check(
     threshold: float = DEFAULT_THRESHOLD,
     rounds: int = 5,
     attempts: int = 2,
+    rss_threshold: float = DEFAULT_RSS_THRESHOLD,
+    cases: Optional[Sequence[str]] = None,
     out=sys.stdout,
 ) -> int:
     try:
@@ -106,31 +150,42 @@ def run_check(
     # A transient load spike can slow every round of one attempt, so a
     # seemingly-regressed case earns a re-measurement: only a slowdown
     # that survives `attempts` independent snapshots fails the check.
-    fresh = take_snapshot(rounds=rounds)
+    fresh = take_snapshot(rounds=rounds, cases=cases)
     try:
-        regressions = compare(baseline, fresh, threshold)
+        regressions = compare(baseline, fresh, threshold, rss_threshold)
         for _ in range(attempts - 1):
             if not regressions:
                 break
-            fresh = _merge_best(fresh, take_snapshot(rounds=rounds))
-            regressions = compare(baseline, fresh, threshold)
+            fresh = _merge_best(fresh, take_snapshot(rounds=rounds, cases=cases))
+            regressions = compare(baseline, fresh, threshold, rss_threshold)
     except ValueError as exc:
         print(str(exc), file=out)
         return 2
     for name, case in fresh["replay"].items():
-        base = baseline["replay"].get(name, {}).get("median_us_per_op")
+        base = baseline["replay"].get(name, {})
+        base_us = base.get("median_us_per_op")
         fresh_us = _fresh_best_us_per_op(case)
-        ref = f"{base:.1f}" if base is not None else "n/a"
-        print(f"{name:>16}: {fresh_us:6.1f} us/op (baseline median {ref})", file=out)
+        ref = f"{base_us:.1f}" if base_us is not None else "n/a"
+        rss = case.get("peak_rss_mb")
+        rss_col = f"  rss {rss:7.1f} MB" if rss is not None else ""
+        print(
+            f"{name:>16}: {fresh_us:6.1f} us/op (baseline median {ref}){rss_col}",
+            file=out,
+        )
     if regressions:
-        print(f"\nFAIL: regression beyond {threshold:.0%} threshold:", file=out)
-        for name, base_us, fresh_us, ratio in regressions:
+        print(f"\nFAIL: regression beyond the allowed threshold:", file=out)
+        for name, base_val, fresh_val, ratio in regressions:
+            unit = "MB" if name.endswith("[rss]") else "us/op"
             print(
-                f"  {name}: {base_us:.1f} -> {fresh_us:.1f} us/op ({ratio:.2f}x)",
+                f"  {name}: {base_val:.1f} -> {fresh_val:.1f} {unit} ({ratio:.2f}x)",
                 file=out,
             )
         return 1
-    print(f"\nOK: all cases within {threshold:.0%} of the committed baseline", file=out)
+    print(
+        f"\nOK: all cases within {threshold:.0%} (time) / "
+        f"{rss_threshold:.0%} (rss) of the committed baseline",
+        file=out,
+    )
     return 0
 
 
@@ -145,6 +200,17 @@ def main(argv=None) -> int:
         default=DEFAULT_THRESHOLD,
         help="allowed fractional slowdown (default 0.25)",
     )
+    parser.add_argument(
+        "--rss-threshold",
+        type=float,
+        default=DEFAULT_RSS_THRESHOLD,
+        help="allowed fractional peak-RSS growth per case (default 0.35)",
+    )
+    parser.add_argument(
+        "--cases",
+        default=None,
+        help="comma-separated case filter (default: all snapshot cases)",
+    )
     parser.add_argument("--rounds", type=int, default=5, help="timing rounds per case")
     parser.add_argument(
         "--attempts",
@@ -153,7 +219,15 @@ def main(argv=None) -> int:
         help="re-measure apparent regressions up to this many snapshots (default 2)",
     )
     args = parser.parse_args(argv)
-    return run_check(Path(args.baseline), args.threshold, args.rounds, args.attempts)
+    cases = args.cases.split(",") if args.cases else None
+    return run_check(
+        Path(args.baseline),
+        args.threshold,
+        args.rounds,
+        args.attempts,
+        rss_threshold=args.rss_threshold,
+        cases=cases,
+    )
 
 
 if __name__ == "__main__":

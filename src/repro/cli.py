@@ -216,13 +216,21 @@ def _build_parser() -> argparse.ArgumentParser:
     gen_p.add_argument("--seed", type=int, default=None)
     gen_p.add_argument("--out", required=True, help="output path")
     gen_p.add_argument(
-        "--format", default="csv", choices=("csv", "fiu"), help="output format"
+        "--format",
+        default="csv",
+        choices=("csv", "fiu", "npz"),
+        help="output format (npz: uncompressed columns, memory-mappable)",
     )
 
     info_p = sub.add_parser("trace-info", help="analyze a trace file")
-    info_p.add_argument("trace", help="trace path (.csv from trace-gen, or FIU format)")
     info_p.add_argument(
-        "--format", default=None, choices=(None, "csv", "fiu"), help="force input format"
+        "trace", help="trace path (.csv/.npz from trace-gen, or FIU format)"
+    )
+    info_p.add_argument(
+        "--format",
+        default=None,
+        choices=(None, "csv", "fiu", "npz"),
+        help="force input format",
     )
 
     sim_p = sub.add_parser("simulate", help="replay a workload under one scheme")
@@ -235,6 +243,20 @@ def _build_parser() -> argparse.ArgumentParser:
     sim_p.add_argument(
         "--replay", default=None, metavar="FILE",
         help="replay a trace file instead of a preset",
+    )
+    sim_p.add_argument(
+        "--stream",
+        action="store_true",
+        help="stream the --replay trace in chunks (constant memory: "
+        "lazy parsing for text formats, memory-mapped columns for npz, "
+        "histogram latency capture instead of per-request samples)",
+    )
+    sim_p.add_argument(
+        "--chunk-size",
+        type=int,
+        default=65536,
+        metavar="REQUESTS",
+        help="requests per streamed chunk (with --stream; default 65536)",
     )
     sim_p.add_argument("--policy", default="greedy", choices=sorted(POLICIES))
     sim_p.add_argument("--blocks", type=int, default=256)
@@ -295,12 +317,10 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _load_trace(path: str, fmt: Optional[str]) -> Trace:
-    if fmt is None:
-        fmt = "csv" if path.endswith(".csv") else "fiu"
-    if fmt == "csv":
-        return Trace.load_csv(path)
-    return load_fiu_trace(path)
+def _load_trace(path: str, fmt: Optional[str], stream: bool = False, chunk_size: int = 65536):
+    from repro.workloads.stream import open_trace
+
+    return open_trace(path, fmt=fmt, stream=stream, chunk_size=chunk_size)
 
 
 def _disable_cache() -> None:
@@ -516,6 +536,8 @@ def _cmd_trace_gen(args: argparse.Namespace) -> int:
     )
     if args.format == "csv":
         trace.save_csv(args.out)
+    elif args.format == "npz":
+        trace.save_npz(args.out)
     else:
         dump_fiu_trace(trace, args.out)
     stats = trace.stats()
@@ -573,7 +595,9 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     )
     config.validate()
     if args.replay is not None:
-        trace = _load_trace(args.replay, None)
+        trace = _load_trace(
+            args.replay, None, stream=args.stream, chunk_size=args.chunk_size
+        )
     else:
         trace = build_fiu_trace(
             args.preset, config, n_requests=0, fill_factor=args.fill_factor
@@ -589,7 +613,13 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         from repro.device.ssd import SSD
 
         device = SSD(
-            scheme, tracer=tracer, telemetry=telemetry, heartbeat=heartbeat
+            scheme,
+            tracer=tracer,
+            telemetry=telemetry,
+            heartbeat=heartbeat,
+            # Streaming replays drop per-request samples for the fixed
+            # histogram so memory stays flat over arbitrarily long traces.
+            keep_samples=not args.stream,
         )
     result = device.replay(trace)
     wall = time.time() - start

@@ -75,20 +75,28 @@ class CAGCScheme(FTLScheme):
     # ------------------------------------------------------------------ GC
 
     def collect_block(self, victim: int, now_us: float) -> GCBlockOutcome:
-        valid = self.flash.valid_ppns_in(victim)
+        valid = self.flash.valid_ppns_array(victim)
+        # Batched hash pass (Fig 5's hash engine): every valid page's
+        # fingerprint is gathered in one vectorized sweep before the
+        # migrate loop, instead of one store probe per page inside it.
+        # Safe because a still-VALID page's fingerprint never changes
+        # mid-pass — merges and migrations only clear fps of pages they
+        # invalidate, and those are skipped by the state check below.
+        fps = self.page_fp.gather(valid).tolist()
+        valid = valid.tolist()
         tracer = self.tracer
         pipeline = GCPipeline(self.timing, tracer=tracer, base_us=now_us)
         examined = 0
         migrated = 0
         skipped = 0
         promotions = 0
-        for ppn in valid:
+        for pos, ppn in enumerate(valid):
             # A promotion earlier in this pass may have already consumed
             # this page (canonical living inside the victim).
             if self.flash.state_of(ppn) != PageState.VALID:
                 continue
             examined += 1
-            fp = self.page_fp[ppn]
+            fp = fps[pos]
             canonical = self.index.lookup(fp)
             if canonical is not None and canonical != ppn:
                 self._dedup_merge(ppn, canonical)

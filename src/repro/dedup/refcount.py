@@ -11,8 +11,10 @@ standalone trace analyzer keys it by fingerprint.
 
 from __future__ import annotations
 
+import sys
+from array import array
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Iterator, List, MutableMapping, Tuple
 
 
 @dataclass
@@ -57,11 +59,84 @@ class InvalidationHistogram:
         return [("1", f1), ("2", f2), ("3", f3), (">3", fg)]
 
 
+class PeakStore:
+    """Flat peak-refcount column for PPN-keyed trackers.
+
+    Peaks are always >= 1, so ``0`` doubles as the absence marker and
+    the whole store is one ``array('i')`` over the physical page range —
+    4 bytes per page instead of a dict entry per live page.  Implements
+    the dict-protocol subset :class:`RefcountTracker` uses, so schemes
+    swap it in via the ``peaks`` field; the fingerprint-keyed trace
+    analyzer keeps a plain dict (its key space is not dense).
+    """
+
+    __slots__ = ("_col",)
+
+    def __init__(self, physical_pages: int = 0) -> None:
+        self._col = array("i", [0]) * max(physical_pages, 16)
+
+    def _grow(self, key: int) -> None:
+        col = self._col
+        col.extend(array("i", [0]) * (max(key + 1, 2 * len(col)) - len(col)))
+
+    def __getitem__(self, key: int) -> int:
+        if 0 <= key < len(self._col):
+            peak = self._col[key]
+            if peak:
+                return peak
+        raise KeyError(key)
+
+    def __setitem__(self, key: int, peak: int) -> None:
+        if key < 0 or peak < 1:
+            raise ValueError(f"peak store needs key >= 0 and peak >= 1, "
+                             f"got [{key}] = {peak}")
+        if key >= len(self._col):
+            self._grow(key)
+        self._col[key] = peak
+
+    def get(self, key: int, default=None):
+        if 0 <= key < len(self._col):
+            peak = self._col[key]
+            if peak:
+                return peak
+        return default
+
+    def pop(self, key: int, default=KeyError):
+        if 0 <= key < len(self._col):
+            peak = self._col[key]
+            if peak:
+                self._col[key] = 0
+                return peak
+        if default is KeyError:
+            raise KeyError(key)
+        return default
+
+    def __contains__(self, key: int) -> bool:
+        return 0 <= key < len(self._col) and self._col[key] != 0
+
+    def __len__(self) -> int:
+        return sum(1 for peak in self._col if peak)
+
+    def __iter__(self) -> Iterator[int]:
+        return (key for key, peak in enumerate(self._col) if peak)
+
+    def column(self) -> array:
+        """The raw column for trusted hot-path writers (bulk program
+        loop); callers must only store peaks >= 1 at in-range keys."""
+        return self._col
+
+    def memory_bytes(self) -> int:
+        return len(self._col) * self._col.itemsize + sys.getsizeof(self)
+
+
 @dataclass
 class RefcountTracker:
     """Tracks lifetime peak reference count per live page/content key."""
 
-    peaks: Dict[int, int] = field(default_factory=dict)
+    #: key -> lifetime peak refcount; a plain dict by default (sparse,
+    #: fingerprint-keyed analyzers) or a :class:`PeakStore` when the
+    #: key space is the dense physical page range.
+    peaks: MutableMapping[int, int] = field(default_factory=dict)
     histogram: InvalidationHistogram = field(default_factory=InvalidationHistogram)
 
     def observe(self, key: int, refcount: int) -> None:

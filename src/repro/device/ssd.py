@@ -91,10 +91,14 @@ class SSD:
         tracer=None,
         telemetry=None,
         heartbeat=None,
+        keep_samples: bool = True,
     ) -> None:
         self.scheme = scheme
         self.sim = sim if sim is not None else Simulator()
-        self.latency = LatencyRecorder()
+        #: keep_samples=False switches latency capture to the fixed-size
+        #: histogram so replay memory is independent of trace length
+        #: (RunResult.response_times_us comes back empty in that mode).
+        self.latency = LatencyRecorder(keep_samples=keep_samples)
         self._queue: Deque[_Row] = deque()
         self._busy = False
         self._rows = None  # type: Optional[object]
@@ -173,7 +177,13 @@ class SSD:
     # ------------------------------------------------------------------ replay
 
     def replay(self, trace: Trace) -> RunResult:
-        """Replay ``trace`` to completion and summarize the run."""
+        """Replay ``trace`` to completion and summarize the run.
+
+        ``trace`` is anything with ``iter_rows()`` and ``name`` — a
+        materialized :class:`Trace`, a memory-mapped npz trace, or a
+        :class:`repro.workloads.stream.StreamingTrace`; the replay loop
+        is single-pass either way.
+        """
         self._rows = trace.iter_rows()
         self._schedule_next_arrival()
         self.sim.run()
@@ -423,8 +433,13 @@ def run_trace(
     tracer=None,
     telemetry=None,
     heartbeat=None,
+    keep_samples: bool = True,
 ) -> RunResult:
     """Convenience wrapper: replay ``trace`` on a fresh SSD."""
     return SSD(
-        scheme, tracer=tracer, telemetry=telemetry, heartbeat=heartbeat
+        scheme,
+        tracer=tracer,
+        telemetry=telemetry,
+        heartbeat=heartbeat,
+        keep_samples=keep_samples,
     ).replay(trace)

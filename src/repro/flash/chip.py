@@ -100,6 +100,18 @@ class FlashArray:
         states = self.page_state[base : base + int(self.write_ptr[block])]
         return [base + int(i) for i in np.nonzero(states == PageState.VALID)[0]]
 
+    def valid_ppns_array(self, block: int) -> np.ndarray:
+        """PPNs of VALID pages in a block, as an int64 ndarray.
+
+        The vectorized sibling of :meth:`valid_ppns_in` for GC paths
+        that gather per-page metadata in one batched pass (content-aware
+        migration reads the whole victim's fingerprints at once).
+        """
+        self.geometry.check_block(block)
+        base = block * self._ppb
+        states = self.page_state[base : base + int(self.write_ptr[block])]
+        return np.nonzero(states == PageState.VALID)[0].astype(np.int64) + base
+
     # -- mutations ----------------------------------------------------------------
 
     def program(self, block: int, now_us: float = 0.0) -> int:

@@ -2,94 +2,178 @@
 
 A classic page-mapped FTL keeps LPN -> PPN.  Deduplication makes the
 relation many-to-one: several LPNs may share one physical page.  The
-table therefore also maintains the reverse map PPN -> referrers; the
-cardinality of that entry *is* the page's reference count (the quantity
-CAGC's placement policy keys on).
+table therefore also maintains the reverse relation PPN -> referrers;
+the cardinality of that entry *is* the page's reference count (the
+quantity CAGC's placement policy keys on).
 
-Representation: per Fig 6, more than 80 % of pages only ever have a
-single referrer, so storing a one-element ``set`` per page would spend
-~200 bytes and a hash-table construction on the overwhelmingly common
-case.  The reverse map therefore stores the referrer LPN as a bare
-``int`` while the refcount is 1, promoting to a real ``set`` only when
-a second LPN actually shares the page (and demoting back when sharing
-ends).  Invariant: an ``int`` entry means refcount exactly 1; a ``set``
-entry always holds >= 2 LPNs.
+Representation: the table is **columnar**.  Hot state lives in flat
+C-typed arrays (``array('q')`` / ``array('i')``, 8/4 bytes per entry)
+instead of Python dicts of boxed ints, so a production-scale geometry
+costs ~20 bytes per page instead of the ~100+ bytes per dict slot, and
+scalar access never touches a hash table:
+
+* ``_fwd``  — LPN -> PPN forward map (``-1`` = unmapped);
+* ``_ref``  — PPN -> reference count sidecar;
+* ``_solo`` — PPN -> the sole referrer LPN while the refcount is
+  exactly 1 (per Fig 6, >80 % of pages only ever have one referrer,
+  so this column resolves the overwhelmingly common case);
+* ``_shared`` — compact overflow dict PPN -> ``set`` of LPNs, populated
+  only while a page is actually shared (refcount >= 2) and emptied the
+  moment sharing ends.
+
+Invariant: ``_ref[ppn] == 1`` means ``_solo[ppn]`` holds the referrer
+and ``ppn`` is absent from ``_shared``; ``_ref[ppn] >= 2`` means
+``_shared[ppn]`` holds all referrers (>= 2 of them) and ``_solo`` is
+``-1``.  Arrays grow geometrically on demand, so a no-argument table
+still works for unit tests; schemes pre-size them from the device
+geometry.  Vectorized queries (``mapped_count`` over long extents,
+``mapped_ppns``) run through transient NumPy views of the same buffers
+— zero copies of the hot state.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Set, Union
+from array import array
+from typing import Dict, List, Optional, Set
 
-_Refs = Union[int, Set[int]]
+import numpy as np
+
+_NO_PPN = -1  # forward-map sentinel: LPN never written / trimmed
+_NO_LPN = -1  # solo-column sentinel: page unmapped or shared
 
 
 class MappingError(RuntimeError):
     """Raised on inconsistent mapping operations (FTL bugs)."""
 
 
+def _filled(typecode: str, fill: int, n: int) -> array:
+    return array(typecode, [fill]) * n
+
+
 class MappingTable:
-    """LPN->PPN map plus reverse map for shared pages."""
+    """Columnar LPN->PPN map plus refcount/referrer sidecars."""
 
-    __slots__ = ("_fwd", "_rev")
+    __slots__ = ("_fwd", "_ref", "_solo", "_shared", "_len")
 
-    def __init__(self) -> None:
-        self._fwd: Dict[int, int] = {}
-        #: PPN -> single LPN (refcount 1) or set of LPNs (refcount >= 2).
-        self._rev: Dict[int, _Refs] = {}
+    def __init__(self, logical_pages: int = 0, physical_pages: int = 0) -> None:
+        self._fwd = _filled("q", _NO_PPN, max(logical_pages, 16))
+        self._ref = _filled("i", 0, max(physical_pages, 16))
+        self._solo = _filled("q", _NO_LPN, max(physical_pages, 16))
+        #: PPN -> set of LPNs, only while refcount >= 2.
+        self._shared: Dict[int, Set[int]] = {}
+        self._len = 0
 
     def __len__(self) -> int:
-        return len(self._fwd)
+        return self._len
+
+    # -- growth ------------------------------------------------------------------
+
+    def _grow_lpn(self, lpn: int) -> None:
+        fwd = self._fwd
+        need = max(lpn + 1, len(fwd) * 2)
+        fwd.extend(_filled("q", _NO_PPN, need - len(fwd)))
+
+    def _grow_ppn(self, ppn: int) -> None:
+        ref = self._ref
+        need = max(ppn + 1, len(ref) * 2)
+        ref.extend(_filled("i", 0, need - len(ref)))
+        self._solo.extend(_filled("q", _NO_LPN, need - len(self._solo)))
 
     # -- queries ---------------------------------------------------------------
 
     def lookup(self, lpn: int) -> Optional[int]:
         """PPN currently holding ``lpn``, or ``None`` if never written."""
-        return self._fwd.get(lpn)
+        if lpn < 0 or lpn >= len(self._fwd):
+            return None
+        ppn = self._fwd[lpn]
+        return None if ppn == _NO_PPN else ppn
 
     def mapped_count(self, lpn: int, npages: int) -> int:
         """How many LPNs of the extent ``[lpn, lpn + npages)`` are mapped.
 
-        One bulk membership sweep (C-level ``map`` over the dict) — the
-        read-request path's replacement for per-page :meth:`lookup`.
+        Short extents scan the column directly; long ones count through
+        a vectorized NumPy view — the read-request path's replacement
+        for per-page :meth:`lookup`.
         """
-        if npages <= 0:
+        if npages <= 0 or lpn >= len(self._fwd):
             return 0
-        return sum(map(self._fwd.__contains__, range(lpn, lpn + npages)))
+        start = max(lpn, 0)
+        stop = min(lpn + npages, len(self._fwd))
+        if stop - start > 64:
+            view = np.frombuffer(self._fwd, dtype=np.int64)
+            return int(np.count_nonzero(view[start:stop] != _NO_PPN))
+        fwd = self._fwd
+        count = 0
+        for i in range(start, stop):
+            if fwd[i] != _NO_PPN:
+                count += 1
+        return count
 
     def is_mapped(self, ppn: int) -> bool:
-        return ppn in self._rev
+        return 0 <= ppn < len(self._ref) and self._ref[ppn] > 0
 
     def refcount(self, ppn: int) -> int:
         """Number of LPNs sharing physical page ``ppn`` (0 if unmapped)."""
-        refs = self._rev.get(ppn)
-        if refs is None:
+        if ppn < 0 or ppn >= len(self._ref):
             return 0
-        return 1 if type(refs) is int else len(refs)
+        return self._ref[ppn]
 
     def lpns_of(self, ppn: int) -> List[int]:
         """All LPNs mapped to ``ppn`` (copy; safe to mutate the table)."""
-        refs = self._rev.get(ppn)
-        if refs is None:
+        if ppn < 0 or ppn >= len(self._ref):
             return []
-        return [refs] if type(refs) is int else list(refs)
+        count = self._ref[ppn]
+        if count == 0:
+            return []
+        if count == 1:
+            return [self._solo[ppn]]
+        return list(self._shared[ppn])
 
-    def mapped_ppns(self) -> Iterable[int]:
-        return self._rev.keys()
+    def mapped_ppns(self) -> List[int]:
+        """PPNs with at least one referrer (ascending)."""
+        view = np.frombuffer(self._ref, dtype=np.int32)
+        return np.nonzero(view)[0].tolist()
 
     # -- mutations ---------------------------------------------------------------
 
     def _drop_ref(self, ppn: int, lpn: int) -> None:
         """Remove ``lpn`` from ``ppn``'s referrers (if present)."""
-        rev = self._rev
-        refs = rev[ppn]
-        if type(refs) is int:
-            if refs == lpn:
-                del rev[ppn]
+        ref = self._ref
+        count = ref[ppn]
+        if count == 1:
+            if self._solo[ppn] == lpn:
+                ref[ppn] = 0
+                self._solo[ppn] = _NO_LPN
             return
+        if count == 0:
+            return
+        refs = self._shared[ppn]
         refs.discard(lpn)
-        if len(refs) == 1:
-            # Back to a single referrer: demote to the int fast path.
-            rev[ppn] = next(iter(refs))
+        remaining = len(refs)
+        if remaining == 1:
+            # Back to a single referrer: demote to the solo column.
+            self._solo[ppn] = next(iter(refs))
+            del self._shared[ppn]
+        ref[ppn] = remaining
+
+    def _add_ref(self, ppn: int, lpn: int) -> None:
+        """Add ``lpn`` to ``ppn``'s referrers (idempotent)."""
+        ref = self._ref
+        count = ref[ppn]
+        if count == 0:
+            ref[ppn] = 1
+            self._solo[ppn] = lpn
+        elif count == 1:
+            solo = self._solo[ppn]
+            if solo != lpn:
+                self._shared[ppn] = {solo, lpn}
+                self._solo[ppn] = _NO_LPN
+                ref[ppn] = 2
+        else:
+            refs = self._shared[ppn]
+            if lpn not in refs:
+                refs.add(lpn)
+                ref[ppn] = count + 1
 
     def bind(self, lpn: int, ppn: int) -> Optional[int]:
         """Map ``lpn`` to ``ppn``; return the previous PPN of ``lpn``.
@@ -97,27 +181,33 @@ class MappingTable:
         The caller decides what to do with the previous PPN (it becomes
         invalid only when its reference count drops to zero).
         """
+        if lpn < 0 or ppn < 0:
+            raise MappingError(f"negative lpn/ppn in bind({lpn}, {ppn})")
         fwd = self._fwd
-        rev = self._rev
-        old = fwd.get(lpn)
-        if old is not None:
+        if lpn >= len(fwd):
+            self._grow_lpn(lpn)
+            fwd = self._fwd
+        if ppn >= len(self._ref):
+            self._grow_ppn(ppn)
+        old = fwd[lpn]
+        if old != _NO_PPN:
             self._drop_ref(old, lpn)
-        fwd[lpn] = ppn
-        refs = rev.get(ppn)
-        if refs is None:
-            rev[ppn] = lpn
-        elif type(refs) is int:
-            if refs != lpn:
-                rev[ppn] = {refs, lpn}
         else:
-            refs.add(lpn)
-        return old
+            self._len += 1
+        fwd[lpn] = ppn
+        self._add_ref(ppn, lpn)
+        return None if old == _NO_PPN else old
 
     def unbind(self, lpn: int) -> Optional[int]:
         """Remove ``lpn``'s mapping (trim); return the PPN it held."""
-        old = self._fwd.pop(lpn, None)
-        if old is not None:
-            self._drop_ref(old, lpn)
+        if lpn < 0 or lpn >= len(self._fwd):
+            return None
+        old = self._fwd[lpn]
+        if old == _NO_PPN:
+            return None
+        self._fwd[lpn] = _NO_PPN
+        self._len -= 1
+        self._drop_ref(old, lpn)
         return old
 
     def remap_ppn(self, old_ppn: int, new_ppn: int) -> int:
@@ -126,54 +216,119 @@ class MappingTable:
         Returns the number of LPNs moved.  ``new_ppn`` may already have
         its own referrers (dedup merge during CAGC migration).
         """
-        rev = self._rev
-        refs = rev.pop(old_ppn, None)
-        if refs is None:
+        count = self.refcount(old_ppn)
+        if count == 0:
             return 0
         if old_ppn == new_ppn:
             raise MappingError("remap_ppn to the same PPN")
+        if new_ppn < 0:
+            raise MappingError(f"negative target ppn {new_ppn}")
+        if new_ppn >= len(self._ref):
+            self._grow_ppn(new_ppn)
+        ref = self._ref
+        solo = self._solo
         fwd = self._fwd
-        target = rev.get(new_ppn)
-        if type(refs) is int:
-            fwd[refs] = new_ppn
-            if target is None:
-                rev[new_ppn] = refs
-            elif type(target) is int:
-                rev[new_ppn] = {target, refs}
-            else:
-                target.add(refs)
-            return 1
-        moved = len(refs)
-        for lpn in refs:
-            fwd[lpn] = new_ppn
-        if target is None:
-            rev[new_ppn] = refs  # transfer the set wholesale
-        elif type(target) is int:
-            refs.add(target)
-            rev[new_ppn] = refs
+        # Detach the referrers from the source page.
+        if count == 1:
+            moving_lpn = solo[old_ppn]
+            moving = None
+            solo[old_ppn] = _NO_LPN
         else:
-            target |= refs
-        return moved
+            moving_lpn = _NO_LPN
+            moving = self._shared.pop(old_ppn)
+        ref[old_ppn] = 0
+        # Re-point the forward map.
+        if moving is None:
+            fwd[moving_lpn] = new_ppn
+        else:
+            for lpn in moving:
+                fwd[lpn] = new_ppn
+        # Merge into the target page's referrers.
+        target_count = ref[new_ppn]
+        if target_count == 0:
+            if moving is None:
+                ref[new_ppn] = 1
+                solo[new_ppn] = moving_lpn
+            else:
+                self._shared[new_ppn] = moving  # transfer the set wholesale
+                ref[new_ppn] = len(moving)
+        elif target_count == 1:
+            if moving is None:
+                self._shared[new_ppn] = {solo[new_ppn], moving_lpn}
+            else:
+                moving.add(solo[new_ppn])
+                self._shared[new_ppn] = moving
+            solo[new_ppn] = _NO_LPN
+            ref[new_ppn] = len(self._shared[new_ppn])
+        else:
+            target = self._shared[new_ppn]
+            if moving is None:
+                target.add(moving_lpn)
+            else:
+                target |= moving
+            ref[new_ppn] = len(target)
+        return count
 
     # -- invariants ----------------------------------------------------------------
 
     def check_invariants(self) -> None:
-        """Forward and reverse maps must mirror each other, and every
+        """Forward and reverse columns must mirror each other, and every
         reverse entry must use the right representation (test hook)."""
+        fwd = self._fwd
+        ref = self._ref
+        solo = self._solo
         count = 0
-        for ppn, refs in self._rev.items():
-            if type(refs) is int:
-                lpns = (refs,)
+        for ppn in self.mapped_ppns():
+            refcount = ref[ppn]
+            if refcount == 1:
+                if ppn in self._shared:
+                    raise AssertionError(
+                        f"ppn {ppn}: refcount 1 but present in the shared "
+                        "overflow map (must use the solo column)"
+                    )
+                if solo[ppn] == _NO_LPN:
+                    raise AssertionError(f"ppn {ppn}: refcount 1 with empty solo column")
+                lpns = (solo[ppn],)
             else:
+                refs = self._shared.get(ppn)
+                if refs is None or len(refs) != refcount:
+                    raise AssertionError(
+                        f"ppn {ppn}: refcount {refcount} disagrees with shared "
+                        f"overflow entry {refs!r}"
+                    )
                 if len(refs) < 2:
                     raise AssertionError(
-                        f"ppn {ppn}: set representation with {len(refs)} "
-                        "referrers (refcount<2 must use the int fast path)"
+                        f"ppn {ppn}: shared representation with {len(refs)} "
+                        "referrers (refcount<2 must use the solo column)"
                     )
+                if solo[ppn] != _NO_LPN:
+                    raise AssertionError(f"ppn {ppn}: shared page with stale solo entry")
                 lpns = tuple(refs)
             for lpn in lpns:
-                if self._fwd.get(lpn) != ppn:
+                if lpn < 0 or lpn >= len(fwd) or fwd[lpn] != ppn:
                     raise AssertionError(f"rev says {lpn}->{ppn}, fwd disagrees")
             count += len(lpns)
-        if count != len(self._fwd):
-            raise AssertionError("reverse map cardinality mismatch")
+        for ppn in self._shared:
+            if ref[ppn] < 2:
+                raise AssertionError(f"shared overflow entry for unshared ppn {ppn}")
+        if count != self._len:
+            raise AssertionError("reverse column cardinality mismatch")
+        view = np.frombuffer(fwd, dtype=np.int64)
+        if int(np.count_nonzero(view != _NO_PPN)) != self._len:
+            raise AssertionError("forward column cardinality mismatch")
+
+    # -- introspection -------------------------------------------------------------
+
+    def memory_bytes(self) -> int:
+        """Actual DRAM footprint of the columnar state (arrays + overflow)."""
+        import sys
+
+        overflow = sys.getsizeof(self._shared) + sum(
+            sys.getsizeof(s) + len(s) * 28 for s in self._shared.values()
+        )
+        return (
+            len(self._fwd) * self._fwd.itemsize
+            + len(self._ref) * self._ref.itemsize
+            + len(self._solo) * self._solo.itemsize
+            + overflow
+        )

@@ -41,12 +41,37 @@ class LatencySummary:
 _EMPTY = LatencySummary(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
 
 
-class LatencyRecorder:
-    """Growable buffer of response-time samples."""
+#: Histogram-mode binning: log-spaced edges from 0.1 µs to 10 s give
+#: <1.2 % relative quantile error with a fixed 4 KB-ish footprint.
+_HIST_LO_US = 0.1
+_HIST_HI_US = 1e7
+_HIST_BINS = 800
 
-    def __init__(self, capacity: int = 1024) -> None:
-        self._buf = np.empty(max(capacity, 16), dtype=np.float64)
+
+class LatencyRecorder:
+    """Response-time capture: exact samples or a fixed-size histogram.
+
+    ``keep_samples=True`` (the default) appends every sample into a
+    growable buffer — exact percentiles, O(requests) memory.  With
+    ``keep_samples=False`` samples fold into a fixed log-spaced
+    histogram instead: percentiles become bin-accurate approximations
+    (sub-percent relative error) but memory stays constant no matter
+    how long the replay runs — the mode streaming replays of
+    multi-million-request traces use.
+    """
+
+    def __init__(self, capacity: int = 1024, keep_samples: bool = True) -> None:
+        self.keep_samples = keep_samples
         self._n = 0
+        if keep_samples:
+            self._buf = np.empty(max(capacity, 16), dtype=np.float64)
+        else:
+            self._buf = np.empty(0, dtype=np.float64)
+            self._bins = np.zeros(_HIST_BINS + 2, dtype=np.int64)
+            self._log_lo = np.log(_HIST_LO_US)
+            self._bin_scale = _HIST_BINS / (np.log(_HIST_HI_US) - self._log_lo)
+            self._sum = 0.0
+            self._max = 0.0
 
     def __len__(self) -> int:
         return self._n
@@ -54,6 +79,9 @@ class LatencyRecorder:
     def record(self, latency_us: float) -> None:
         if latency_us < 0:
             raise ValueError(f"negative latency {latency_us}")
+        if not self.keep_samples:
+            self._record_binned(latency_us)
+            return
         if self._n == len(self._buf):
             grown = np.empty(len(self._buf) * 2, dtype=np.float64)
             grown[: self._n] = self._buf
@@ -61,13 +89,33 @@ class LatencyRecorder:
         self._buf[self._n] = latency_us
         self._n += 1
 
+    def _record_binned(self, latency_us: float) -> None:
+        if latency_us < _HIST_LO_US:
+            idx = 0
+        elif latency_us >= _HIST_HI_US:
+            idx = _HIST_BINS + 1
+        else:
+            from math import log
+
+            idx = 1 + int((log(latency_us) - self._log_lo) * self._bin_scale)
+        self._bins[idx] += 1
+        self._sum += latency_us
+        if latency_us > self._max:
+            self._max = latency_us
+        self._n += 1
+
     def samples(self) -> np.ndarray:
-        """View of the recorded samples (do not mutate)."""
-        return self._buf[: self._n]
+        """View of the recorded samples (do not mutate).
+
+        Empty in histogram mode — per-sample data was never retained.
+        """
+        return self._buf[: self._n] if self.keep_samples else self._buf
 
     def summary(self) -> LatencySummary:
         if self._n == 0:
             return _EMPTY
+        if not self.keep_samples:
+            return self._summary_binned()
         samples = self.samples()
         q = np.percentile(samples, [50, 95, 99, 99.9])
         return LatencySummary(
@@ -78,6 +126,30 @@ class LatencyRecorder:
             p99_us=float(q[2]),
             p999_us=float(q[3]),
             max_us=float(samples.max()),
+        )
+
+    def _summary_binned(self) -> LatencySummary:
+        cum = np.cumsum(self._bins)
+        # Geometric bin midpoints; the clamp bins report their edge.
+        edges = np.exp(
+            self._log_lo + np.arange(_HIST_BINS + 1) / self._bin_scale
+        )
+        mids = np.empty(_HIST_BINS + 2)
+        mids[0] = _HIST_LO_US
+        mids[1:-1] = np.sqrt(edges[:-1] * edges[1:])
+        mids[-1] = self._max
+        def quantile(q: float) -> float:
+            rank = q * (self._n - 1)
+            idx = int(np.searchsorted(cum, rank + 1.0, side="left"))
+            return float(min(mids[idx], self._max))
+        return LatencySummary(
+            count=self._n,
+            mean_us=self._sum / self._n,
+            median_us=quantile(0.50),
+            p95_us=quantile(0.95),
+            p99_us=quantile(0.99),
+            p999_us=quantile(0.999),
+            max_us=self._max,
         )
 
     def cdf(self, points: int = 200) -> Tuple[np.ndarray, np.ndarray]:

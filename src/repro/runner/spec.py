@@ -149,7 +149,7 @@ class RunSpec:
             placement = NeverColdPlacement(config)
         return CAGCScheme(config, policy=policy, placement=placement, **options)
 
-    def execute(self, tracer=None, telemetry=None, heartbeat=None):
+    def execute(self, tracer=None, telemetry=None, heartbeat=None, keep_samples=True):
         """Run the simulation described by this spec (no caching).
 
         Mirrors the historical ``gc_efficiency_result`` construction
@@ -159,7 +159,10 @@ class RunSpec:
         ``tracer``/``telemetry``/``heartbeat`` attach :mod:`repro.obs`
         observers to the replay (observers never enter the cache key:
         they must not — and by construction cannot — change the
-        simulated outcome, only record it).
+        simulated outcome, only record it).  ``keep_samples=False``
+        switches latency capture to the constant-memory histogram
+        (``response_times_us`` comes back empty); use it for large-scale
+        runs where O(requests) sample storage dominates RSS.
         """
         # Imported lazily: repro.experiments.common itself builds on the
         # runner, so a module-level import would be circular.
@@ -182,7 +185,12 @@ class RunSpec:
         if self.device != "single":
             raise ValueError(f"unknown device {self.device!r}")
         return run_trace(
-            ftl, trace, tracer=tracer, telemetry=telemetry, heartbeat=heartbeat
+            ftl,
+            trace,
+            tracer=tracer,
+            telemetry=telemetry,
+            heartbeat=heartbeat,
+            keep_samples=keep_samples,
         )
 
 

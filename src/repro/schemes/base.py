@@ -25,8 +25,9 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.config import SSDConfig
+from repro.dedup.fingerprint import PageFingerprints
 from repro.dedup.index import FingerprintIndex
-from repro.dedup.refcount import RefcountTracker
+from repro.dedup.refcount import PeakStore, RefcountTracker
 from repro.flash.chip import FlashArray, PageState
 from repro.flash.timing import FlashTiming
 from repro.ftl.allocator import BlockAllocator, Region, WearAwareAllocator
@@ -140,11 +141,17 @@ class FTLScheme(abc.ABC):
             WearAwareAllocator if config.wear_aware_allocation else BlockAllocator
         )
         self.allocator = allocator_cls(self.flash)
-        self.mapping = MappingTable()
-        self.index = FingerprintIndex()
-        self.tracker = RefcountTracker()
+        # Columnar state, preallocated to the device geometry: the flat
+        # arrays never rehash or grow during replay, and the footprint
+        # is the geometry-proportional figure a real FTL would budget.
+        n_pages = config.geometry.total_pages
+        self.mapping = MappingTable(
+            logical_pages=config.logical_pages, physical_pages=n_pages
+        )
+        self.index = FingerprintIndex(physical_pages=n_pages)
+        self.tracker = RefcountTracker(peaks=PeakStore(n_pages))
         #: content fingerprint of every live physical page.
-        self.page_fp: Dict[int, int] = {}
+        self.page_fp = PageFingerprints(n_pages)
         self.policy = policy if policy is not None else make_policy("greedy")
         #: Optional :class:`repro.obs.Tracer`.  The device layer sets
         #: this when the run is traced; every instrumentation site below
@@ -205,8 +212,11 @@ class FTLScheme(abc.ABC):
         self._note_user_writes(lpn, n)
         allocator = self.allocator
         bind = self.mapping.bind
-        page_fp = self.page_fp
-        peaks = self.tracker.peaks
+        # Raw columns: allocated PPNs are in range by construction and
+        # trace fingerprints are non-negative, so the flat stores can be
+        # indexed directly instead of through their dict-protocol shims.
+        fp_col = self.page_fp.column()
+        peak_col = self.tracker.peaks.column()
         release_if_dead = self._release_if_dead
         done = 0
         while done < n:
@@ -214,9 +224,9 @@ class FTLScheme(abc.ABC):
             for i in range(count):
                 ppn = base + i
                 old = bind(lpn + done + i, ppn)
-                page_fp[ppn] = values[done + i]
-                if peaks.get(ppn, 0) < 1:  # tracker.observe(ppn, 1), inlined
-                    peaks[ppn] = 1
+                fp_col[ppn] = values[done + i]
+                if peak_col[ppn] < 1:  # tracker.observe(ppn, 1), inlined
+                    peak_col[ppn] = 1
                 if old is not None and old != ppn:
                     release_if_dead(old)
             done += count

@@ -92,6 +92,88 @@ def iter_fiu_records(lines: Iterable[str]) -> Iterator[FIURecord]:
             yield record
 
 
+class _RequestBuilder:
+    """Accumulates coalesced FIU request rows into Trace columns.
+
+    Shared by the one-shot loader and the streaming chunk reader so both
+    produce byte-identical requests: the coalescing rule and the
+    timestamp rebase arithmetic live here exactly once.
+    """
+
+    def __init__(self, coalesce: bool) -> None:
+        self.coalesce = coalesce
+        self.base_us: Optional[float] = None
+        self.group: List[FIURecord] = []
+        self.times: List[float] = []
+        self.ops: List[int] = []
+        self.lpns: List[int] = []
+        self.npages: List[int] = []
+        self.fps: List[int] = []
+        self.offsets: List[int] = [0]
+
+    def __len__(self) -> int:
+        """Requests flushed so far (the open group is not counted)."""
+        return len(self.times)
+
+    def push(self, record: FIURecord) -> None:
+        if self.base_us is None:
+            self.base_us = record.time_us
+        group = self.group
+        if not group:
+            group.append(record)
+            return
+        head = group[-1]
+        contiguous = (
+            self.coalesce
+            and record.op == group[0].op
+            and record.time_us == group[0].time_us
+            and record.pid == group[0].pid
+            and record.block == head.block + head.size_blocks
+        )
+        if contiguous:
+            group.append(record)
+        else:
+            self._flush()
+            self.group = [record]
+
+    def _flush(self) -> None:
+        group = self.group
+        head = group[0]
+        self.times.append(head.time_us - self.base_us)
+        self.ops.append(int(head.op))
+        self.lpns.append(head.block)
+        self.npages.append(len(group))
+        if head.op == OpKind.WRITE:
+            self.fps.extend(r.fingerprint for r in group)
+        self.offsets.append(len(self.fps))
+
+    def finish(self) -> None:
+        """Flush the trailing open group at end of input."""
+        if self.group:
+            self._flush()
+            self.group = []
+
+    def take_trace(self, name: str) -> Trace:
+        """Emit the flushed rows as a Trace and reset the columns (the
+        open coalescing group and timestamp base carry over)."""
+        trace = Trace(
+            np.asarray(self.times, dtype=np.float64),
+            np.asarray(self.ops, dtype=np.uint8),
+            np.asarray(self.lpns, dtype=np.int64),
+            np.asarray(self.npages, dtype=np.int32),
+            np.asarray(self.fps, dtype=np.int64),
+            np.asarray(self.offsets, dtype=np.int64),
+            name,
+        )
+        self.times = []
+        self.ops = []
+        self.lpns = []
+        self.npages = []
+        self.fps = []
+        self.offsets = [0]
+        return trace
+
+
 def load_fiu_trace(
     source: Union[str, Path, TextIO],
     name: Optional[str] = None,
@@ -103,67 +185,57 @@ def load_fiu_trace(
     rebased so the trace starts at t=0.
     """
     if isinstance(source, (str, Path)):
-        with open(source) as fh:
-            records = list(iter_fiu_records(fh))
         trace_name = name or Path(source).stem
-    else:
-        records = list(iter_fiu_records(source))
-        trace_name = name or "fiu"
-    if not records:
-        return Trace(
-            np.empty(0),
-            np.empty(0, dtype=np.uint8),
-            np.empty(0, dtype=np.int64),
-            np.empty(0, dtype=np.int32),
-            np.empty(0, dtype=np.int64),
-            np.zeros(1, dtype=np.int64),
-            trace_name,
-        )
+        with open(source) as fh:
+            return _load_all(fh, trace_name, coalesce)
+    return _load_all(source, name or "fiu", coalesce)
 
-    base_us = records[0].time_us
-    times: List[float] = []
-    ops: List[int] = []
-    lpns: List[int] = []
-    npages: List[int] = []
-    fps: List[int] = []
-    offsets: List[int] = [0]
 
-    def flush(group: List[FIURecord]) -> None:
-        head = group[0]
-        times.append(head.time_us - base_us)
-        ops.append(int(head.op))
-        lpns.append(head.block)
-        npages.append(len(group))
-        if head.op == OpKind.WRITE:
-            fps.extend(r.fingerprint for r in group)
-        offsets.append(len(fps))
+def _load_all(lines: Iterable[str], trace_name: str, coalesce: bool) -> Trace:
+    builder = _RequestBuilder(coalesce)
+    for record in iter_fiu_records(lines):
+        builder.push(record)
+    builder.finish()
+    return builder.take_trace(trace_name)
 
-    group: List[FIURecord] = [records[0]]
-    for record in records[1:]:
-        head = group[-1]
-        contiguous = (
-            coalesce
-            and record.op == group[0].op
-            and record.time_us == group[0].time_us
-            and record.pid == group[0].pid
-            and record.block == head.block + head.size_blocks
-        )
-        if contiguous:
-            group.append(record)
-        else:
-            flush(group)
-            group = [record]
-    flush(group)
 
-    return Trace(
-        np.asarray(times),
-        np.asarray(ops, dtype=np.uint8),
-        np.asarray(lpns, dtype=np.int64),
-        np.asarray(npages, dtype=np.int32),
-        np.asarray(fps, dtype=np.int64),
-        np.asarray(offsets, dtype=np.int64),
-        trace_name,
-    )
+def iter_fiu_chunks(
+    source: Union[str, Path, TextIO],
+    chunk_size: int = 65536,
+    name: Optional[str] = None,
+    coalesce: bool = True,
+) -> Iterator[Trace]:
+    """Stream an FIU trace file as :class:`Trace` chunks of
+    ``chunk_size`` requests, at memory proportional to one chunk.
+
+    Concatenating the chunks reproduces :func:`load_fiu_trace` exactly:
+    the coalescing group that is still open when a chunk fills carries
+    over into the next chunk (a multi-record request is never split),
+    and timestamps stay rebased to the whole trace's first record.
+    """
+    if chunk_size <= 0:
+        raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+    if isinstance(source, (str, Path)):
+        trace_name = name or Path(source).stem
+        with open(source) as fh:
+            yield from _iter_chunks(fh, trace_name, chunk_size, coalesce)
+        return
+    yield from _iter_chunks(source, name or "fiu", chunk_size, coalesce)
+
+
+def _iter_chunks(
+    lines: Iterable[str], trace_name: str, chunk_size: int, coalesce: bool
+) -> Iterator[Trace]:
+    builder = _RequestBuilder(coalesce)
+    empty = True
+    for record in iter_fiu_records(lines):
+        builder.push(record)
+        if len(builder) >= chunk_size:
+            empty = False
+            yield builder.take_trace(trace_name)
+    builder.finish()
+    if len(builder) or empty:
+        yield builder.take_trace(trace_name)
 
 
 def dump_fiu_trace(trace: Trace, path: Union[str, Path], process: str = "repro") -> None:

@@ -1,15 +1,25 @@
-"""Trace container with array-backed storage and CSV serialization.
+"""Trace container with array-backed storage and CSV/npz serialization.
 
 A :class:`Trace` stores half a million requests in a handful of NumPy
 arrays (times, opcodes, extents) plus one flat fingerprint array with a
 per-request offset table — no per-request Python objects on the replay
 hot path.  ``iter_requests`` materializes :class:`IORequest` views for
 API consumers that prefer objects.
+
+For production-scale traces the columns also serialize to an
+uncompressed ``.npz`` (:meth:`Trace.save_npz`) that loads back as
+memory-mapped views (:meth:`Trace.load_npz`): the OS pages column data
+in and out on demand, so replaying a multi-million-request trace never
+materializes it in RAM.  :meth:`Trace.slice` and :meth:`Trace.iter_chunks`
+carve zero-copy windows out of the columns for chunked consumers (see
+:mod:`repro.workloads.stream` for the streaming dispatch layer).
 """
 
 from __future__ import annotations
 
 import csv
+import struct
+import zipfile
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterator, List, Optional, Sequence, Tuple, Union
@@ -17,6 +27,35 @@ from typing import Iterator, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from repro.workloads.request import IORequest, OpKind
+
+
+def _mmap_npz_member(path: Union[str, Path], info: zipfile.ZipInfo) -> np.ndarray:
+    """Memory-map one stored (uncompressed) ``.npy`` member of an npz.
+
+    ``zipfile`` has no public "offset of member data" API, so this reads
+    the member's local file header to find where the raw ``.npy`` bytes
+    start, parses the npy header there, and maps the array data that
+    follows it.  Only valid for ``ZIP_STORED`` members (the raw bytes
+    *are* the npy file).
+    """
+    with open(path, "rb") as fh:
+        fh.seek(info.header_offset)
+        local = fh.read(30)
+        if len(local) != 30 or local[:4] != b"PK\x03\x04":
+            raise ValueError(f"{path}: bad local header for {info.filename}")
+        name_len, extra_len = struct.unpack("<HH", local[26:30])
+        fh.seek(info.header_offset + 30 + name_len + extra_len)
+        version = np.lib.format.read_magic(fh)
+        if version == (1, 0):
+            shape, fortran, dtype = np.lib.format.read_array_header_1_0(fh)
+        elif version == (2, 0):
+            shape, fortran, dtype = np.lib.format.read_array_header_2_0(fh)
+        else:
+            raise ValueError(f"{path}: unsupported npy version {version}")
+        if fortran:
+            raise ValueError(f"{path}: fortran-order member {info.filename}")
+        data_offset = fh.tell()
+    return np.memmap(path, dtype=dtype, mode="r", offset=data_offset, shape=shape)
 
 
 @dataclass(frozen=True)
@@ -107,8 +146,18 @@ class Trace:
             page_fps = fps[offsets[i] : offsets[i + 1]] if op == write else None
             yield (float(times[i]), op, int(lpns[i]), int(npages[i]), page_fps)
 
-    def iter_requests(self) -> Iterator[IORequest]:
-        """Yield :class:`IORequest` objects (convenience API)."""
+    def iter_requests(self, chunk_size: Optional[int] = None) -> Iterator[IORequest]:
+        """Yield :class:`IORequest` objects (convenience API).
+
+        ``chunk_size`` bounds how much of the backing columns is touched
+        at a time: with memory-mapped columns the OS can reclaim each
+        chunk's pages once iteration moves past it.  Materialized traces
+        yield identical requests either way.
+        """
+        if chunk_size is not None:
+            for chunk in self.iter_chunks(chunk_size):
+                yield from chunk.iter_requests()
+            return
         for time_us, op, lpn, npages, page_fps in self.iter_rows():
             yield IORequest(
                 time_us=time_us,
@@ -120,6 +169,37 @@ class Trace:
 
     def __iter__(self) -> Iterator[IORequest]:
         return self.iter_requests()
+
+    # -- chunked views -----------------------------------------------------------------
+
+    def slice(self, start: int, stop: int) -> "Trace":
+        """Zero-copy window ``[start, stop)`` over the trace columns.
+
+        Fingerprint offsets are rebased to the window's flat-array
+        slice; every column is a NumPy view, so slicing a memory-mapped
+        trace touches no data pages until the slice is iterated.
+        """
+        n = len(self)
+        start = max(0, min(start, n))
+        stop = max(start, min(stop, n))
+        fp_lo = int(self.fp_offsets[start])
+        fp_hi = int(self.fp_offsets[stop])
+        return Trace(
+            self.times_us[start:stop],
+            self.ops[start:stop],
+            self.lpns[start:stop],
+            self.npages[start:stop],
+            self.fps_flat[fp_lo:fp_hi],
+            self.fp_offsets[start : stop + 1] - fp_lo,
+            self.name,
+        )
+
+    def iter_chunks(self, chunk_size: int = 65536) -> Iterator["Trace"]:
+        """Yield the trace as consecutive :meth:`slice` windows."""
+        if chunk_size <= 0:
+            raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+        for start in range(0, len(self), chunk_size):
+            yield self.slice(start, start + chunk_size)
 
     # -- statistics --------------------------------------------------------------------
 
@@ -208,3 +288,42 @@ class Trace:
             np.asarray(offsets, dtype=np.int64),
             name or Path(path).stem,
         )
+
+    _NPZ_FIELDS = ("times_us", "ops", "lpns", "npages", "fps_flat", "fp_offsets")
+
+    def save_npz(self, path: Union[str, Path]) -> None:
+        """Write the trace columns as an *uncompressed* ``.npz``.
+
+        Uncompressed on purpose: stored (not deflated) zip members can
+        be memory-mapped straight out of the archive, which is what
+        makes :meth:`load_npz` constant-memory.
+        """
+        np.savez(path, **{f: getattr(self, f) for f in self._NPZ_FIELDS})
+
+    @classmethod
+    def load_npz(
+        cls, path: Union[str, Path], name: Optional[str] = None, mmap: bool = True
+    ) -> "Trace":
+        """Load a trace written by :meth:`save_npz`.
+
+        With ``mmap=True`` (the default) every column is an
+        ``np.memmap`` view into the file — the process's resident set
+        stays constant no matter how many requests the trace holds,
+        because the OS pages column data in on access and drops it
+        under pressure.  Falls back to an ordinary in-memory read for
+        compressed archives.
+        """
+        columns = {}
+        with zipfile.ZipFile(path) as zf:
+            for field in cls._NPZ_FIELDS:
+                member = field + ".npy"
+                try:
+                    info = zf.getinfo(member)
+                except KeyError:
+                    raise ValueError(f"{path}: not a trace npz (missing {member})")
+                if mmap and info.compress_type == zipfile.ZIP_STORED:
+                    columns[field] = _mmap_npz_member(path, info)
+                else:
+                    with zf.open(member) as fh:
+                        columns[field] = np.lib.format.read_array(fh)
+        return cls(name=name or Path(path).stem.replace(".npz", ""), **columns)

@@ -145,19 +145,22 @@ class TestInvariantsProperty:
 
 
 class TestCompactReverseMap:
-    """The reverse map stores a bare int for a sole referrer and only
-    promotes to a set at refcount 2 (the paper's Fig 6: >80% of pages
-    have exactly one referrer).  These tests drive the promote/demote
-    transitions and check the table against a plain dict model."""
+    """The reverse relation keeps a sole referrer in the flat solo
+    column and only spills into the shared-PPN overflow dict at
+    refcount 2 (the paper's Fig 6: >80% of pages have exactly one
+    referrer).  These tests drive the promote/demote transitions and
+    check the table against a plain dict model."""
 
     def test_promote_on_second_sharer_demote_on_unbind(self):
         m = MappingTable()
         m.bind(1, 10)
-        assert type(m._rev[10]) is int  # sole referrer stays unboxed
+        assert 10 not in m._shared  # sole referrer stays in the solo column
+        assert m._solo[10] == 1
         m.bind(2, 10)
-        assert type(m._rev[10]) is set  # promoted on share
+        assert m._shared[10] == {1, 2}  # promoted to the overflow on share
         m.unbind(1)
-        assert type(m._rev[10]) is int  # demoted back at refcount 1
+        assert 10 not in m._shared  # demoted back at refcount 1
+        assert m._solo[10] == 2
         assert m.lookup(2) == 10
         m.check_invariants()
 
@@ -177,7 +180,7 @@ class TestCompactReverseMap:
         m.bind(1, 10)
         m.bind(2, 20)
         assert m.remap_ppn(10, 20) == 1
-        assert type(m._rev[20]) is set
+        assert m._shared[20] == {1, 2}
         assert m.refcount(20) == 2
         m.check_invariants()
 
@@ -186,7 +189,7 @@ class TestCompactReverseMap:
         m.bind(1, 10)
         m.bind(2, 10)
         assert m.remap_ppn(10, 50) == 2
-        assert type(m._rev[50]) is set
+        assert m._shared[50] == {1, 2}
         assert sorted(m.lpns_of(50)) == [1, 2]
         m.check_invariants()
 

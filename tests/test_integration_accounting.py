@@ -93,7 +93,15 @@ class TestDedupEconomy:
 
     def test_index_memory_reported(self, runs):
         scheme, _, _ = runs["inline-dedupe"]
-        assert scheme.index.memory_bytes() == len(scheme.index) * 48
+        # Honest footprint: the flat columns alone cost 24 bytes per
+        # allocated slot, so the report must at least cover the live
+        # entries, and stay within the allocated-capacity ceiling
+        # (slots are a power of two at <=2/3 load, plus the reverse
+        # column over the physical page range).
+        reported = scheme.index.memory_bytes()
+        assert reported >= len(scheme.index) * 24
+        cap = len(scheme.index._keys)
+        assert reported <= cap * 16 + len(scheme.index._ppn_fp) * 8 + 4096
 
     def test_cagc_live_pages_at_most_baseline(self, runs):
         base, _, _ = runs["baseline"]

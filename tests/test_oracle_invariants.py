@@ -69,9 +69,10 @@ def test_accounting_opt_out_skips_conservation():
 
 def test_mapping_forward_reverse_desync_fires():
     scheme = _populated_scheme()
-    lpn, ppn = next(iter(scheme.mapping._fwd.items()))
+    ppn = next(iter(scheme.mapping.mapped_ppns()))
+    lpn = scheme.mapping.lpns_of(ppn)[0]
     other = next(p for p in scheme.mapping.mapped_ppns() if p != ppn)
-    scheme.mapping._fwd[lpn] = other
+    scheme.mapping._fwd[lpn] = other  # corrupt the forward column
     with pytest.raises(AssertionError):
         check_all(scheme)
 
@@ -79,8 +80,8 @@ def test_mapping_forward_reverse_desync_fires():
 def test_fingerprint_index_asymmetry_fires():
     scheme = _populated_scheme()
     assert len(scheme.index) > 0, "dedup index unexpectedly empty"
-    fp = next(iter(scheme.index._by_fp))
-    scheme.index._by_fp[fp] = scheme.index._by_fp[fp] + 1
+    ppn = next(p for p in scheme.mapping.mapped_ppns() if scheme.index.contains_ppn(p))
+    scheme.index._ppn_fp[ppn] = scheme.index.fp_of(ppn) + 1  # corrupt the reverse column
     with pytest.raises(AssertionError, match="asymmetric"):
         check_all(scheme)
 

@@ -7,6 +7,7 @@ import pytest
 from repro.workloads.fiu_format import (
     FIUFormatError,
     dump_fiu_trace,
+    iter_fiu_chunks,
     load_fiu_trace,
     parse_fiu_line,
 )
@@ -98,6 +99,73 @@ class TestLoadTrace:
         trace = load_fiu_trace(io.StringIO(SAMPLE))
         result = run_trace(make_scheme("cagc", small_config(blocks=64)), trace)
         assert result.latency.count == len(trace)
+
+
+def _run_record(ts_ns: int, base_block: int, n: int) -> str:
+    """``n`` contiguous same-timestamp write records (one coalesced run)."""
+    return "".join(
+        f"{ts_ns} 7 proc {base_block + i} 1 W 8 0 {i + 1:032x}\n" for i in range(n)
+    )
+
+
+class TestChunkedParsing:
+    def test_empty_input_yields_one_empty_chunk(self):
+        chunks = list(iter_fiu_chunks(io.StringIO("# only comments\n\n")))
+        assert len(chunks) == 1
+        assert len(chunks[0]) == 0
+
+    def test_malformed_line_reports_lineno_from_chunks(self):
+        text = SAMPLE + "9000000 1 proc notanint 1 W 8 0 " + "00" * 16 + "\n"
+        with pytest.raises(FIUFormatError, match="line 6"):
+            list(iter_fiu_chunks(io.StringIO(text), chunk_size=2))
+
+    def test_truncated_final_line_rejected(self):
+        # A copy truncated mid-record (e.g. partial download) must fail
+        # loudly, not silently drop the tail.
+        text = SAMPLE + "9000000 1 proc 7 1 W"
+        with pytest.raises(FIUFormatError, match="expected 9 fields"):
+            load_fiu_trace(io.StringIO(text))
+        with pytest.raises(FIUFormatError, match="expected 9 fields"):
+            list(iter_fiu_chunks(io.StringIO(text), chunk_size=1))
+
+    def test_chunk_boundary_never_splits_a_coalesced_run(self):
+        # chunk_size=1 closes a chunk after every flushed request, so
+        # the chunk boundary falls while the 5-record run is still
+        # open: the run must carry over and land whole in the next
+        # chunk, never split across two.
+        text = _run_record(1_000_000, 10, 1) + _run_record(2_000_000, 100, 5)
+        chunks = list(iter_fiu_chunks(io.StringIO(text), chunk_size=1))
+        sizes = [trace.npages.tolist() for trace in chunks]
+        assert sizes == [[1], [5]]
+
+    def test_chunks_match_whole_load_for_any_chunk_size(self):
+        text = "".join(
+            _run_record(i * 1_000_000, i * 50, 1 + i % 4) for i in range(20)
+        )
+        whole = load_fiu_trace(io.StringIO(text))
+        for size in (1, 3, 19, 20, 999):
+            chunks = list(iter_fiu_chunks(io.StringIO(text), chunk_size=size))
+            assert sum(len(c) for c in chunks) == len(whole)
+            times, lpns, npages = [], [], []
+            for c in chunks:
+                times.extend(c.times_us.tolist())
+                lpns.extend(c.lpns.tolist())
+                npages.extend(c.npages.tolist())
+            assert times == whole.times_us.tolist()
+            assert lpns == whole.lpns.tolist()
+            assert npages == whole.npages.tolist()
+
+    def test_timestamp_rebase_spans_chunks(self):
+        # The rebase origin is the whole trace's first record, not each
+        # chunk's: later chunks keep absolute offsets from t=0.
+        text = _run_record(5_000_000, 1, 1) + _run_record(8_000_000, 2, 1)
+        chunks = list(iter_fiu_chunks(io.StringIO(text), chunk_size=1))
+        assert chunks[0].times_us.tolist() == [0.0]
+        assert chunks[1].times_us.tolist() == [3000.0]
+
+    def test_chunk_size_must_be_positive(self):
+        with pytest.raises(ValueError):
+            list(iter_fiu_chunks(io.StringIO(SAMPLE), chunk_size=0))
 
 
 class TestRoundTrip:
