@@ -58,6 +58,18 @@ def _fresh_best_us_per_op(case: Dict[str, float]) -> float:
     return case["min_wall_s"] * 1e6 / case["ops"]
 
 
+def _baseline_gate_us_per_op(case: Dict[str, float]) -> float:
+    # The @64x cases calibrate to a single repeat per round (their one
+    # run already exceeds the minimum round length), so their recorded
+    # median is a 2-sample statistic that inherits whatever CPU steal
+    # those two rounds saw.  Gate those against the baseline's
+    # best-of-rounds instead — min-vs-min is the stable comparison when
+    # the median carries no averaging.
+    if case.get("repeats", 0) <= 1 and "min_wall_s" in case:
+        return case["min_wall_s"] * 1e6 / case["ops"]
+    return case["median_us_per_op"]
+
+
 def compare(
     baseline: dict,
     fresh: dict,
@@ -81,7 +93,7 @@ def compare(
         base_case = baseline["replay"].get(name)
         if base_case is None:
             continue  # new case: nothing to regress against
-        base_us = base_case["median_us_per_op"]
+        base_us = _baseline_gate_us_per_op(base_case)
         fresh_us = _fresh_best_us_per_op(case)
         if fresh_us > base_us * (1.0 + threshold):
             regressions.append((f"replay/{name}", base_us, fresh_us, fresh_us / base_us))
@@ -163,7 +175,7 @@ def run_check(
         return 2
     for name, case in fresh["replay"].items():
         base = baseline["replay"].get(name, {})
-        base_us = base.get("median_us_per_op")
+        base_us = _baseline_gate_us_per_op(base) if base else None
         fresh_us = _fresh_best_us_per_op(case)
         ref = f"{base_us:.1f}" if base_us is not None else "n/a"
         rss = case.get("peak_rss_mb")

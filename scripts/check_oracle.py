@@ -34,6 +34,7 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 from repro.oracle import (  # noqa: E402
     ALL_POLICIES,
     ALL_SCHEMES,
+    diff_kernels,
     diff_trace,
     fuzz_config,
     fuzz_trace,
@@ -63,6 +64,12 @@ def main(argv=None) -> int:
         "--policies", nargs="+", default=list(ALL_POLICIES), choices=ALL_POLICIES
     )
     parser.add_argument(
+        "--kernel-equivalence",
+        action="store_true",
+        help="diff kernel=vectorized against kernel=reference directly "
+        "(bit-identity sweep) instead of against the naive oracle model",
+    )
+    parser.add_argument(
         "--shrink",
         action="store_true",
         help="delta-debug each diverging trace and save it under tests/regress/",
@@ -81,21 +88,35 @@ def main(argv=None) -> int:
         for scheme in args.schemes:
             for policy in args.policies:
                 runs += 1
-                divergence = diff_trace(
-                    trace,
-                    scheme=scheme,
-                    policy=policy,
-                    config=config,
-                    check_every=args.check_every,
-                )
+                if args.kernel_equivalence:
+                    divergence = diff_kernels(
+                        trace, scheme=scheme, policy=policy, config=config
+                    )
+                else:
+                    divergence = diff_trace(
+                        trace,
+                        scheme=scheme,
+                        policy=policy,
+                        config=config,
+                        check_every=args.check_every,
+                    )
                 if divergence is None:
                     continue
                 failures += 1
                 log.error("seed %d (%s): %s", seed, profile_for_seed(seed), divergence)
                 if args.shrink:
+                    if args.kernel_equivalence:
+                        predicate = (
+                            lambda tr, s=scheme, p=policy: diff_kernels(
+                                tr, scheme=s, policy=p, config=config
+                            )
+                            is not None
+                        )
+                    else:
+                        predicate = make_divergence_predicate(scheme, policy, config)
                     minimal = shrink_trace(
                         trace,
-                        make_divergence_predicate(scheme, policy, config),
+                        predicate,
                         name=f"fuzz-s{seed}-{scheme}-{policy}",
                     )
                     path = save_regression(

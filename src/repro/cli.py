@@ -264,6 +264,13 @@ def _build_parser() -> argparse.ArgumentParser:
     sim_p.add_argument("--channels", type=int, default=4)
     sim_p.add_argument("--fill-factor", type=float, default=3.0)
     sim_p.add_argument("--gc-mode", default="blocking", choices=("blocking", "preemptive"))
+    sim_p.add_argument(
+        "--kernel",
+        default=None,
+        choices=("reference", "vectorized"),
+        help="replay kernel (default: REPRO_KERNEL env var or 'reference'); "
+        "vectorized batches request runs through repro.kernel",
+    )
     sim_p.add_argument("--wear-aware", action="store_true")
     sim_p.add_argument(
         "--device",
@@ -592,6 +599,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         gc_mode=args.gc_mode,
         wear_aware_allocation=args.wear_aware,
         write_buffer_pages=args.write_buffer,
+        **({"kernel": args.kernel} if args.kernel is not None else {}),
     )
     config.validate()
     if args.replay is not None:
@@ -604,6 +612,12 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         )
     scheme = make_scheme(args.scheme, config, policy=make_policy(args.policy))
     tracer, telemetry, heartbeat = _make_observers(args)
+    if config.kernel == "vectorized":
+        # Per-request telemetry (and heartbeat) force the reference
+        # path (`kernel_eligible`); the tracer alone keeps the batched
+        # kernels live and yields the kernel-attribution rows below.
+        telemetry = None
+        heartbeat = None
     start = time.time()
     if args.device == "parallel":
         from repro.device.parallel import ParallelSSD
@@ -640,6 +654,23 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     ]
     if result.buffer is not None:
         rows.append(("buffer absorption", f"{result.buffer.absorption_ratio:.1%}"))
+    if tracer is not None and config.kernel == "vectorized":
+        attr = tracer.kernel_attribution()
+        rows.append(
+            (
+                "kernel batches",
+                f"{attr['batches']:.0f} "
+                f"(mean {attr['mean_batch_requests']:.0f} reqs)",
+            )
+        )
+        rows.append(("kernel fallback rate", f"{attr['fallback_rate']:.2%}"))
+        rows.append(
+            (
+                "kernel wall (vec/fallback)",
+                f"{attr['vectorized_wall_us'] / 1e3:.1f} / "
+                f"{attr['fallback_wall_us'] / 1e3:.1f}ms",
+            )
+        )
     print(
         format_table(
             ("Metric", "Value"),

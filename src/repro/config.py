@@ -20,6 +20,7 @@ clock is a float microsecond counter throughout the code base.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field, replace
 from typing import Optional
 
@@ -155,6 +156,18 @@ class SSDConfig:
     write_buffer_pages: int = 0
     #: DRAM access latency charged per buffered page.
     write_buffer_dram_us: float = 1.0
+    #: Replay kernel implementation.  ``reference`` is the per-request
+    #: Python event loop; ``vectorized`` batches whole request runs
+    #: through ``repro.kernel`` and must produce bit-identical
+    #: trajectories (it falls back to the reference path for features
+    #: the batched kernels do not model: preemptive GC, write buffers,
+    #: per-request telemetry).  The ``REPRO_KERNEL`` environment
+    #: variable overrides the default for configs that do not set it
+    #: explicitly — CI uses it to run the whole tier-1 suite on the
+    #: vectorized path.
+    kernel: str = field(
+        default_factory=lambda: os.environ.get("REPRO_KERNEL", "reference")
+    )
 
     @property
     def logical_pages(self) -> int:
@@ -178,6 +191,8 @@ class SSDConfig:
             raise ValueError("gc_burst_blocks must be >= 1")
         if self.gc_mode not in ("blocking", "preemptive"):
             raise ValueError("gc_mode must be 'blocking' or 'preemptive'")
+        if self.kernel not in ("reference", "vectorized"):
+            raise ValueError("kernel must be 'reference' or 'vectorized'")
         if self.write_buffer_pages < 0:
             raise ValueError("write_buffer_pages must be >= 0")
         if self.write_buffer_dram_us < 0:

@@ -183,7 +183,19 @@ class SSD:
         materialized :class:`Trace`, a memory-mapped npz trace, or a
         :class:`repro.workloads.stream.StreamingTrace`; the replay loop
         is single-pass either way.
+
+        With ``config.kernel = "vectorized"`` the replay runs through
+        the batched kernels in :mod:`repro.kernel` instead of the event
+        engine — bit-identical results, one pass per chunk.  Features
+        the kernels do not model (preemptive GC, write buffers,
+        telemetry/heartbeat observers, per-page-hashing schemes) fall
+        back to the reference loop below.
         """
+        if self.scheme.config.kernel == "vectorized":
+            from repro.kernel import kernel_eligible, replay_vectorized
+
+            if kernel_eligible(self, trace):
+                return replay_vectorized(self, trace)
         self._rows = trace.iter_rows()
         self._schedule_next_arrival()
         self.sim.run()

@@ -100,6 +100,23 @@ class VictimIndex:
         if self._bucket_of[block] >= 0:
             self._remove(block)
 
+    def sync_block(self, block: int, invalid: int, full: bool) -> None:
+        """Force one block's membership to match its flash end state.
+
+        The batched write kernel applies a run's programs and
+        invalidations out of order and reconciles the index afterwards:
+        final membership only depends on the block's final ``(full,
+        invalid)`` state, never on the interleaving that produced it.
+        """
+        want = invalid if (full and invalid > 0) else -1
+        cur = self._bucket_of[block]
+        if cur == want:
+            return
+        if cur >= 0:
+            self._remove(block)
+        if want >= 0:
+            self._add(block, want)
+
     def rebuild(self) -> None:
         """Re-derive the whole index from flash state (O(blocks)).
 

@@ -1,0 +1,27 @@
+"""Batch-vectorized replay kernels over the columnar FTL stores.
+
+The kernel/orchestrator split behind ``config.kernel = "vectorized"``:
+
+* :mod:`repro.kernel.orchestrator` — chunked replay driver: slices raw
+  trace columns, predicts GC-trigger boundaries, and routes everything
+  between them through the batched kernels (and everything else through
+  the reference per-request path);
+* :mod:`repro.kernel.write` — the write-service kernel: one run of
+  bulk-scheme writes as column scatters;
+* :mod:`repro.kernel.gcmig` — the GC-migration kernel for plain-copy
+  victim collection;
+* :mod:`repro.kernel.cagcmig` — the lean scalar collect for CAGC's
+  inherently sequential dedup/promotion victim walk;
+* :mod:`repro.kernel.views` — cached zero-copy NumPy views over the
+  columnar FTL/dedup stores the kernels scatter into;
+* :mod:`repro.kernel._njit` — optional numba tier for the two
+  irreducibly sequential scalar loops.
+
+Every path is bit-identical to ``kernel = "reference"`` — the
+differential oracle diffs the two continuously (the
+``kernel-equivalence`` fuzz profile).
+"""
+
+from repro.kernel.orchestrator import CHUNK_REQUESTS, kernel_eligible, replay_vectorized
+
+__all__ = ["CHUNK_REQUESTS", "kernel_eligible", "replay_vectorized"]

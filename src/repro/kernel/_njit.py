@@ -1,0 +1,108 @@
+"""Optional numba tier for the hottest scalar kernels.
+
+The vectorized replay path is NumPy end to end except for a few
+irreducibly sequential recurrences:
+
+* the FIFO completion recurrence ``t_i = max(a_i, t_{i-1}) + d_i``
+  (float addition is not associative, so a cumsum reformulation would
+  not be bit-identical to the event engine);
+* the GC-trigger prefix scan locating the first write of a run whose
+  block pulls would cross the free-block watermark.
+
+(The CAGC pipeline-makespan recurrence stays inline in
+:mod:`repro.kernel.cagcmig` — it interleaves with state mutation, so it
+cannot be hoisted into a standalone jittable function.)
+
+When numba is importable both compile with ``@njit(cache=True)``;
+otherwise the module degrades silently to pure-Python / NumPy versions
+that produce identical results (same IEEE-754 double ops, same integer
+arithmetic).  The container this repo targets does not ship numba, so
+the fallback path is itself kept fast: the recurrence runs over
+``tolist()`` floats (no per-element ndarray boxing) and the trigger
+scan is pure vectorized integer math.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+try:  # pragma: no cover - exercised only where numba is installed
+    from numba import njit
+
+    HAVE_NUMBA = True
+except Exception:  # ImportError, or a broken install
+    njit = None
+    HAVE_NUMBA = False
+
+
+def _completion_recurrence_py(arrivals, durations, t_prev):
+    """Reference implementation: plain Python floats.
+
+    Returns ``(completions, t_final)``; ``completions[i]`` is the
+    completion time of request ``i`` under FIFO single-server service —
+    exactly what the event engine computes one event at a time.
+    """
+    n = len(arrivals)
+    out = np.empty(n, dtype=np.float64)
+    a = arrivals.tolist()
+    d = durations.tolist()
+    comp = [0.0] * n
+    t = t_prev
+    for i in range(n):
+        ai = a[i]
+        start = ai if ai > t else t
+        t = start + d[i]
+        comp[i] = t
+    out[:] = comp
+    return out, t
+
+
+def _first_trigger_py(cum_pages_before, af0, ppb, budget):
+    """First write ordinal whose GC check fires, or -1.
+
+    ``cum_pages_before[j]`` is the exclusive prefix sum of the run's
+    write page counts.  A write triggers GC when the block pulls its
+    predecessors forced leave fewer than the watermark's worth of free
+    blocks: ``pulls > budget`` with ``pulls = max(0,
+    ceil((cum - af0) / ppb))`` (``af0`` = pages left in the active
+    block at run start).  Exact integer form — covers the case where
+    the device is already below the watermark at run start (budget < 0
+    triggers on the very first write).
+    """
+    pulls = (cum_pages_before - af0 + (ppb - 1)) // ppb
+    np.maximum(pulls, 0, out=pulls)
+    mask = pulls > budget
+    if not mask.any():
+        return -1
+    return int(np.argmax(mask))
+
+
+if HAVE_NUMBA:  # pragma: no cover - exercised only where numba is installed
+
+    @njit(cache=True)
+    def _completion_recurrence_nb(arrivals, durations, t_prev):
+        n = arrivals.shape[0]
+        out = np.empty(n, dtype=np.float64)
+        t = t_prev
+        for i in range(n):
+            ai = arrivals[i]
+            start = ai if ai > t else t
+            t = start + durations[i]
+            out[i] = t
+        return out, t
+
+    @njit(cache=True)
+    def _first_trigger_nb(cum_pages_before, af0, ppb, budget):
+        for j in range(cum_pages_before.shape[0]):
+            pulls = (cum_pages_before[j] - af0 + (ppb - 1)) // ppb
+            if pulls < 0:
+                pulls = 0
+            if pulls > budget:
+                return j
+        return -1
+
+    completion_recurrence = _completion_recurrence_nb
+    first_trigger = _first_trigger_nb
+else:
+    completion_recurrence = _completion_recurrence_py
+    first_trigger = _first_trigger_py

@@ -1,0 +1,185 @@
+"""Vectorized GC-migration kernel (baseline victim collection).
+
+The baseline scheme's :meth:`collect_block` is a pure copy loop: every
+valid page of the victim moves to the victim's own region, carrying its
+mapping, fingerprint and peak history along — no dedup lookups, no
+promotions, no mid-pass state feedback.  That makes the whole pass one
+mask-classification plus a handful of scatters:
+
+* gather the victim's valid PPNs and classify them in one pass (the
+  gate below: every page must be solo-referenced and non-canonical —
+  always true for baseline, re-checked per victim so the kernel
+  degrades to the reference loop instead of corrupting state if a
+  subclass ever changes the invariants);
+* allocate destination pages in ``allocate_run`` stretches (same PPN
+  order as the reference's per-page ``allocate_page`` calls);
+* remap/move fingerprints/rekey peaks with one scatter per column;
+* skip the per-page invalidation of the victim: the erase immediately
+  after resets the same page states, so only ``valid_count`` needs
+  zeroing first (the victim's index membership ends the same way — the
+  erase hook removes it).
+
+CAGC's collection keeps the reference per-page loop: its mid-pass index
+inserts, promotions and cold-capacity feedback make later pages depend
+on earlier ones, which is exactly the content-awareness under test.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.ftl.allocator import Region
+from repro.kernel.views import ColumnViews
+from repro.schemes.base import FTLScheme, GCBlockOutcome
+from repro.schemes.baseline import BaselineScheme
+
+_FP_ABSENT = -1
+_FP_NEGATIVE = -2
+_IDX_EMPTY = -1
+
+
+def install_fast_gc(scheme: FTLScheme, views: ColumnViews) -> bool:
+    """Swap in the vectorized collect_block for plain-copy schemes.
+
+    Only the exact baseline qualifies: subclasses may override the
+    migration-region decision (spatial hot/cold) or the whole pass
+    (CAGC).  Returns True when installed.
+    """
+    if type(scheme) is not BaselineScheme:
+        return False
+    reference = scheme.collect_block
+
+    def collect_block(victim: int, now_us: float) -> GCBlockOutcome:
+        outcome = _collect_block_fast(scheme, views, victim, now_us)
+        if outcome is None:
+            return reference(victim, now_us)
+        return outcome
+
+    scheme.collect_block = collect_block  # type: ignore[method-assign]
+    return True
+
+
+def _collect_block_fast(
+    scheme: FTLScheme, views: ColumnViews, victim: int, now_us: float
+) -> Optional[GCBlockOutcome]:
+    """One victim collection as column scatters; None -> take the
+    reference loop (gate tripped)."""
+    flash = scheme.flash
+    valid = flash.valid_ppns_array(victim)
+    n = len(valid)
+    timing = scheme.timing
+    if n == 0:
+        _finish_erase(scheme, victim, 0)
+        outcome = GCBlockOutcome(
+            victim=victim,
+            duration_us=timing.gc_migrate_us(0),
+            pages_examined=0,
+            pages_migrated=0,
+            dedup_skipped=0,
+            promotions=0,
+            read_us=0.0,
+            hash_us=0.0,
+            write_us=0.0,
+            erase_us=timing.erase_us,
+        )
+        _emit_spans(scheme, victim, 0, now_us, timing)
+        scheme._account_gc(outcome)
+        return outcome
+
+    ref_view = views.ref
+    if bool((ref_view[valid] != 1).any()):
+        return None
+    # An empty dedup index means no page anywhere is canonical, and an
+    # empty negative-fingerprint spill means no page carries one — two
+    # O(1) checks that skip the per-victim reverse/fingerprint gathers
+    # for the (always, in baseline) common case.
+    if len(scheme.index) != 0:
+        if bool(scheme.index._fallback_ppn) or bool(
+            (views.rev[valid] != _IDX_EMPTY).any()
+        ):
+            return None
+    if scheme.page_fp._negative and bool(
+        (views.fp[valid] == _FP_NEGATIVE).any()
+    ):
+        return None
+
+    region = scheme.allocator.region_of(victim)
+    if region not in (Region.HOT, Region.COLD):
+        region = Region.HOT
+
+    # Destination placement: same page order as per-page allocate_page,
+    # every page stamped with the same now_us.
+    allocator = scheme.allocator
+    new_ppns = np.empty(n, dtype=np.int64)
+    pos = 0
+    while pos < n:
+        base, count = allocator.allocate_run(region, n - pos, now_us)
+        new_ppns[pos : pos + count] = np.arange(base, base + count, dtype=np.int64)
+        pos += count
+
+    # Remap: all solo pages, all destinations fresh.
+    solo_view = views.solo
+    fwd_view = views.fwd()
+    lpns = solo_view[valid].copy()
+    fwd_view[lpns] = new_ppns
+    del fwd_view
+    ref_view[valid] = 0
+    solo_view[valid] = -1
+    ref_view[new_ppns] = 1
+    solo_view[new_ppns] = lpns
+
+    # Fingerprints follow the pages; peaks rekey onto the new PPNs.
+    fp_view = views.fp
+    moved_fps = fp_view[valid].copy()
+    fp_view[valid] = _FP_ABSENT
+    if bool((moved_fps == _FP_ABSENT).any()):
+        present = moved_fps != _FP_ABSENT
+        fp_view[new_ppns[present]] = moved_fps[present]
+    else:
+        fp_view[new_ppns] = moved_fps
+    peak_view = views.peak
+    peaks = peak_view[valid].copy()
+    peak_view[valid] = 0
+    peak_view[new_ppns] = peaks
+
+    _finish_erase(scheme, victim, n)
+    outcome = GCBlockOutcome(
+        victim=victim,
+        duration_us=timing.gc_migrate_us(n),
+        pages_examined=n,
+        pages_migrated=n,
+        dedup_skipped=0,
+        promotions=0,
+        read_us=n * timing.read_us,
+        hash_us=0.0,
+        write_us=n * timing.write_us,
+        erase_us=timing.erase_us,
+    )
+    _emit_spans(scheme, victim, n, now_us, timing)
+    scheme._account_gc(outcome)
+    return outcome
+
+
+def _finish_erase(scheme: FTLScheme, victim: int, migrated: int) -> None:
+    """Erase the victim without per-page invalidation round-trips.
+
+    The reference invalidates each migrated page and then erases; the
+    erase resets the very page states the invalidations set, so only
+    the valid counter (the erase precondition) needs zeroing.  The
+    victim's index membership ends identically: the erase hook removes
+    it whether or not the interim invalidations bumped its bucket.
+    """
+    if migrated:
+        scheme.flash.valid_count[victim] = 0
+    scheme._erase_victim(victim)
+
+
+def _emit_spans(scheme: FTLScheme, victim: int, n: int, now_us: float, timing) -> None:
+    tracer = scheme.tracer
+    if tracer is None:
+        return
+    copy_us = n * (timing.read_us + timing.write_us)
+    tracer.span("gc", "copy-valid", now_us, copy_us, victim=victim, pages=n)
+    tracer.span("gc", "erase", now_us + copy_us, timing.erase_us, victim=victim)

@@ -1,0 +1,330 @@
+"""Batch replay orchestrator: chunked trace -> vectorized kernels.
+
+``replay_vectorized`` reproduces :meth:`repro.device.ssd.SSD.replay`
+bit for bit without the event engine.  The FIFO single-server device
+makes request timing a pure recurrence — ``completion_i =
+max(arrival_i, completion_{i-1}) + duration_i`` — and for bulk schemes
+(baseline, CAGC, spatial hot/cold) every non-GC-triggering request's
+duration is state-independent, so the replay factors into *runs*:
+
+1. slice a chunk of raw trace columns (``Trace.iter_chunks`` /
+   ``StreamingTrace.iter_chunks``);
+2. predict, from the allocator state alone, the first write in the
+   chunk whose free-block check crosses the GC watermark (an exact
+   integer prefix scan over the write page counts — no state is
+   touched to find it);
+3. everything before that boundary is one *run*: service times come
+   from one elementwise pass, completions from the sequential
+   recurrence (njit-compiled when numba is importable), latencies land
+   via ``LatencyRecorder.record_many``, and the writes' state effects
+   apply through :func:`repro.kernel.write.apply_write_run`;
+4. the boundary request (GC-triggering write, or any trim) goes
+   through the reference scheme calls — same ``run_gc`` /
+   ``write_request`` / ``trim_request``, same post-GC hook and
+   timeline sampling — and the scan restarts behind it.
+
+Requests the batched kernels do not model (negative fingerprints in a
+chunk) drop to the same per-request reference path, so the fallback is
+row-granular, never a mid-run abort.  The ``kernel`` tracer track
+records one ``batch`` span per run and one ``fallback`` span per
+slow-path request (with host ``wall_us`` attribution), which
+``repro.obs.kernel_attribution`` folds into the report.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+import numpy as np
+
+from repro.device.ssd import RunResult, SSD
+from repro.ftl.allocator import Region
+from repro.kernel._njit import completion_recurrence, first_trigger
+from repro.kernel.cagcmig import install_fast_cagc
+from repro.kernel.gcmig import install_fast_gc
+from repro.kernel.views import ColumnViews
+from repro.kernel.write import apply_write_run
+from repro.obs.trace import TRACK_KERNEL
+from repro.sim.engine import SimulationError
+from repro.workloads.request import OpKind
+
+_OP_WRITE = int(OpKind.WRITE)
+_OP_READ = int(OpKind.READ)
+_OP_TRIM = int(OpKind.TRIM)
+
+#: Default request-chunk size when replaying a materialized trace.
+CHUNK_REQUESTS = 65536
+
+
+def kernel_eligible(ssd: SSD, trace) -> bool:
+    """Can this (device, trace) pair take the vectorized path?
+
+    The batched kernels model the default replay configuration:
+    blocking foreground GC, no DRAM write buffer, no per-request
+    telemetry/heartbeat observers, and a bulk-write scheme (inline
+    dedup hashes on the foreground path, which is inherently
+    per-page).  Post-GC hooks and tracers are supported.  Anything
+    else silently takes the reference event loop under the same
+    ``FTLScheme`` interface.
+    """
+    scheme = ssd.scheme
+    return (
+        scheme.config.kernel == "vectorized"
+        and scheme.config.gc_mode == "blocking"
+        and ssd.buffer is None
+        and ssd.telemetry is None
+        and ssd.heartbeat is None
+        and scheme.bulk_user_writes
+        and hasattr(trace, "iter_chunks")
+    )
+
+
+def replay_vectorized(ssd: SSD, trace) -> RunResult:
+    """Replay ``trace`` through the batched kernels; see module docs."""
+    scheme = ssd.scheme
+    views = ColumnViews(scheme)
+    install_fast_gc(scheme, views) or install_fast_cagc(scheme, views)
+    timing = scheme.timing
+    channels = scheme.flash.geometry.channels
+    allocator = scheme.allocator
+    ppb = scheme.flash.pages_per_block
+    trigger_blocks = scheme._gc_trigger_blocks
+    latency = ssd.latency
+    tracer = ssd.tracer
+    hot = Region.HOT
+
+    try:
+        chunks = trace.iter_chunks(CHUNK_REQUESTS)
+    except TypeError:
+        chunks = trace.iter_chunks()  # streaming traces fix their own size
+
+    t = 0.0  # completion time of the previous request
+    served = False  # at least one request completed (sim clock moved)
+    last_time = 0.0
+    fallback_requests = 0
+
+    for chunk in chunks:
+        n = len(chunk)
+        if n == 0:
+            continue
+        times = chunk.times_us
+        ops = chunk.ops
+        lpns = chunk.lpns
+        npages = chunk.npages
+        offsets = chunk.fp_offsets
+        fps_flat = chunk.fps_flat
+        if float(times[0]) < last_time or bool((np.diff(times) < 0).any()):
+            raise SimulationError(
+                "cannot schedule into the past (trace arrivals not monotone)"
+            )
+        last_time = float(times[-1])
+        if bool((ops > _OP_TRIM).any()):
+            bad = int(ops[ops > _OP_TRIM][0])
+            raise ValueError(f"unknown opcode {bad}")
+
+        is_write = ops == _OP_WRITE
+        is_trim = ops == _OP_TRIM
+        lengths = offsets[1:] - offsets[:-1]
+        # Fingerprint spans are the authoritative write page counts.
+        wn_all = np.where(is_write, lengths, 0).astype(np.int64)
+        # Slow-path chunk: negative fingerprints (never produced by
+        # traces; exactness over speed when hand-built rows carry them).
+        if fps_flat.size and bool((fps_flat < 0).any()):
+            for i in range(n):
+                fview = (
+                    fps_flat[offsets[i] : offsets[i + 1]]
+                    if is_write[i]
+                    else None
+                )
+                t = _slow_request(
+                    ssd, float(times[i]), int(ops[i]), int(lpns[i]),
+                    int(npages[i]), fview, t, tracer,
+                )
+                fallback_requests += 1
+                served = True
+            continue
+        # Non-write rows with nonzero fingerprint spans would break the
+        # contiguous-slice fast path below; route them per-request too.
+        contiguous = int(np.where(~is_write, lengths, 0).sum()) == 0
+
+        # Elementwise service durations (state-independent inside runs).
+        slots = (npages.astype(np.int64) + (channels - 1)) // channels
+        durations = np.where(
+            is_write,
+            np.where(
+                wn_all > 0,
+                timing.overhead_us
+                + ((wn_all + (channels - 1)) // channels) * timing.write_us,
+                timing.overhead_us + timing.lookup_us,
+            ),
+            np.where(
+                is_trim,
+                timing.overhead_us + timing.lookup_us * npages,
+                np.where(
+                    npages > 0,
+                    timing.overhead_us + slots * timing.read_us,
+                    timing.overhead_us,
+                ),
+            ),
+        )
+
+        trim_positions = np.nonzero(is_trim)[0]
+        trim_cursor = 0
+        write_positions = np.nonzero(is_write)[0]
+
+        i = 0
+        while i < n:
+            # Stretch end: the next trim (state-order-dependent, so it
+            # splits the run) or the chunk end.
+            while trim_cursor < len(trim_positions) and trim_positions[trim_cursor] < i:
+                trim_cursor += 1
+            stop = (
+                int(trim_positions[trim_cursor])
+                if trim_cursor < len(trim_positions)
+                else n
+            )
+            # First GC-triggering write in [i, stop): exact integer
+            # prediction from the allocator state (reads don't allocate).
+            lo = int(np.searchsorted(write_positions, i))
+            hi = int(np.searchsorted(write_positions, stop))
+            w = write_positions[lo:hi]
+            e = stop
+            if w.size:
+                wn = wn_all[w]
+                cum_before = np.cumsum(wn) - wn
+                af0 = (
+                    allocator._active_free[hot]
+                    if allocator._active[hot] is not None
+                    else 0
+                )
+                budget = allocator.free_blocks - trigger_blocks
+                jw = first_trigger(cum_before, af0, ppb, budget)
+                if jw >= 0:
+                    e = int(w[jw])
+                    w = w[:jw]
+                    wn = wn[:jw]
+            if e > i:
+                wall0 = time.perf_counter()
+                seg_times = times[i:e]
+                completions, t = completion_recurrence(
+                    np.ascontiguousarray(seg_times, dtype=np.float64),
+                    np.ascontiguousarray(durations[i:e]),
+                    t,
+                )
+                latency.record_many(completions - seg_times)
+                ssd.requests_completed += e - i
+                served = True
+                # Reads: counter-only effects.
+                seg_reads = (~is_write[i:e]).sum()  # no trims inside a run
+                if seg_reads:
+                    io = scheme.io_counters
+                    io.read_requests += int(seg_reads)
+                    io.pages_read += int(
+                        np.where(~is_write[i:e], npages[i:e], 0).sum()
+                    )
+                pages = 0
+                if w.size:
+                    pages = int(wn.sum())
+                    if contiguous:
+                        # Non-write spans are empty, so the writes'
+                        # fingerprints are one contiguous slice.
+                        wfps = fps_flat[offsets[i] : offsets[i] + pages]
+                    else:
+                        wfps = np.concatenate(
+                            [
+                                fps_flat[offsets[j] : offsets[j + 1]]
+                                for j in w.tolist()
+                            ]
+                        ) if pages else fps_flat[:0]
+                    starts = completions[w - i] - durations[w]
+                    apply_write_run(scheme, views, lpns[w], wn, wfps, starts)
+                if tracer is not None:
+                    ts = float(completions[0] - durations[i])
+                    tracer.span(
+                        TRACK_KERNEL, "batch", ts, float(t - ts),
+                        requests=e - i, pages=pages,
+                        wall_us=(time.perf_counter() - wall0) * 1e6,
+                    )
+                    tracer.counter(TRACK_KERNEL, "batch_requests", ts, e - i)
+            if e < n:
+                fview = (
+                    fps_flat[offsets[e] : offsets[e + 1]] if is_write[e] else None
+                )
+                t = _slow_request(
+                    ssd, float(times[e]), int(ops[e]), int(lpns[e]),
+                    int(npages[e]), fview, t, tracer,
+                )
+                fallback_requests += 1
+                served = True
+                if tracer is not None:
+                    tracer.counter(
+                        TRACK_KERNEL, "fallback_requests", t, fallback_requests
+                    )
+            i = e + 1
+
+    ssd.sim.now = t if served else ssd.sim.now
+    return RunResult(
+        scheme=scheme.name,
+        trace=trace.name,
+        latency=latency.summary(),
+        response_times_us=latency.samples().copy(),
+        gc=scheme.gc_counters,
+        io=scheme.io_counters,
+        wear=scheme.wear(),
+        simulated_us=ssd.sim.now,
+        buffer=None,
+    )
+
+
+def _slow_request(
+    ssd: SSD,
+    arrival: float,
+    op: int,
+    lpn: int,
+    npages: int,
+    fps: Optional[np.ndarray],
+    t_prev: float,
+    tracer,
+) -> float:
+    """One request through the reference scheme calls.
+
+    Exactly :meth:`SSD._service` under blocking GC with no write
+    buffer: the GC-triggering writes, trims, and any request the
+    batched kernels do not model.  Returns the completion time.
+    """
+    wall0 = time.perf_counter()
+    scheme = ssd.scheme
+    timing = scheme.timing
+    now = arrival if arrival > t_prev else t_prev
+    ssd.sim.now = now  # post-GC hooks read the service-start clock
+    if op == _OP_WRITE:
+        gc_us = scheme.run_gc(now) if scheme.needs_gc() else 0.0
+        if gc_us > 0.0:
+            ssd._sample_gc_state(now + gc_us)
+            if ssd.hooks:
+                ssd.hooks(ssd)
+        outcome = scheme.write_request(lpn, fps, now + gc_us)
+        service = timing.write_request_us(
+            outcome.programs, scheme.flash.geometry.channels
+        )
+        if outcome.hashed_pages:
+            service += timing.inline_dedup_us(outcome.hashed_pages)
+        if outcome.programs == 0:
+            service += timing.lookup_us
+        duration = gc_us + service
+    elif op == _OP_READ:
+        scheme.read_request(lpn, npages)
+        duration = timing.read_request_us(npages, scheme.flash.geometry.channels)
+    else:
+        scheme.trim_request(lpn, npages, now)
+        duration = timing.overhead_us + timing.lookup_us * npages
+    completion = now + duration
+    ssd.latency.record(completion - arrival)
+    ssd.requests_completed += 1
+    if tracer is not None:
+        tracer.span(
+            TRACK_KERNEL, "fallback", now, duration,
+            requests=1, wall_us=(time.perf_counter() - wall0) * 1e6,
+        )
+    return completion

@@ -1,0 +1,42 @@
+"""Long-lived NumPy views over the fixed-size FTL columns.
+
+The batched kernels read and scatter into the columnar stores through
+``np.frombuffer`` views.  Re-deriving those views on every run/victim
+is pure overhead for the columns whose backing buffers can never
+reallocate: ``_ref``/``_solo`` (mapping reverse columns), the
+fingerprint and peak columns, and the index's reverse column are all
+pre-sized to the device's physical page count and only ever mutated in
+place.  One :class:`ColumnViews` per replay caches them.
+
+The forward map ``_fwd`` is deliberately **not** cached: it grows
+geometrically when a write addresses a new high LPN, and ``array``
+refuses to extend while a NumPy export is alive — so a persistent view
+would turn a legitimate growth into a ``BufferError``.  Kernels take a
+transient ``fwd()`` view after pre-growing and drop it before any
+reference-path code can run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.schemes.base import FTLScheme
+
+
+class ColumnViews:
+    """Cached views over the physical-page-indexed columns."""
+
+    __slots__ = ("scheme", "ref", "solo", "fp", "peak", "rev")
+
+    def __init__(self, scheme: FTLScheme) -> None:
+        self.scheme = scheme
+        mapping = scheme.mapping
+        self.ref = np.frombuffer(mapping._ref, dtype=np.int32)
+        self.solo = np.frombuffer(mapping._solo, dtype=np.int64)
+        self.fp = np.frombuffer(scheme.page_fp._col, dtype=np.int64)
+        self.peak = np.frombuffer(scheme.tracker.peaks._col, dtype=np.int32)
+        self.rev = np.frombuffer(scheme.index._ppn_fp, dtype=np.int64)
+
+    def fwd(self) -> np.ndarray:
+        """Transient forward-map view; never hold across kernel calls."""
+        return np.frombuffer(self.scheme.mapping._fwd, dtype=np.int64)

@@ -1,0 +1,246 @@
+"""Batch-vectorized user-write kernel.
+
+Applies a whole *run* of bulk-scheme write requests (no GC trigger, no
+trim in between — the orchestrator guarantees both) to the FTL state in
+one pass over raw columns, producing exactly the state a per-request
+:meth:`FTLScheme.write_request` loop would: same mapping columns, same
+flash counters, same refcount histogram, same victim-index membership.
+
+The decomposition exploits that within a run every program goes to the
+hot region and every page's fate is decided by occurrence order alone:
+
+* **placement** — one ``allocate_run`` per active-block stretch (a thin
+  Python loop over blocks, not pages); each block is touched by exactly
+  one stretch per run, so stamping it with the service start of the
+  request owning the stretch's last page reproduces the reference's
+  final ``last_write_us``;
+* **pre-run overwrites** — for every distinct LPN written, the page it
+  mapped to before the run loses that referrer.  Initially-solo pages
+  (refcount 1 — the overwhelming majority, paper Fig 6) die in one
+  vectorized scatter; initially-shared pages take a short Python loop
+  through the reference ``_drop_ref`` / ``_release_if_dead`` path;
+* **in-run rewrites** — every non-final occurrence of an LPN is a page
+  born dead inside the run: its bind and drop cancel exactly (net-zero
+  refcount/fingerprint/peak), leaving only the flash invalidation and
+  one refcount-1 histogram event;
+* **final occurrences** — one scatter each for the forward map,
+  refcount, solo-referrer, fingerprint and peak columns;
+* **victim index** — programs and invalidations apply out of order
+  above, so per-event index maintenance is skipped and every touched
+  block is reconciled once at the end via
+  :meth:`VictimIndex.sync_block` (final membership depends only on the
+  block's final fullness and invalid count).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.flash.chip import PageState
+from repro.ftl.allocator import Region
+from repro.kernel.views import ColumnViews
+from repro.schemes.base import FTLScheme
+
+_NO_PPN = -1
+_FP_ABSENT = -1
+_FP_NEGATIVE = -2
+_IDX_EMPTY = -1
+
+
+def apply_write_run(
+    scheme: FTLScheme,
+    views: ColumnViews,
+    wlpns: np.ndarray,
+    wpages: np.ndarray,
+    fps: np.ndarray,
+    wstarts: np.ndarray,
+) -> None:
+    """Apply one run of write requests to the scheme's state.
+
+    ``wlpns``/``wpages``/``wstarts`` are per-request columns (int64 /
+    int64 / float64); ``fps`` is the concatenated fingerprint stream of
+    all requests (``wpages`` entries each, ``wpages.sum()`` total).
+    Page counts come from the fingerprint spans — the authoritative
+    write size in the reference path.  The caller guarantees: bulk
+    scheme, all fingerprints non-negative, no GC trigger inside the
+    run.
+    """
+    P = int(wpages.sum())
+    nreq = len(wlpns)
+    mapping = scheme.mapping
+    flash = scheme.flash
+    allocator = scheme.allocator
+    tracker = scheme.tracker
+    index = scheme.index
+    ppb = flash.pages_per_block
+
+    # Per-LPN bookkeeping hook (spatial hot/cold write counting): only
+    # pay the per-request loop when a scheme actually overrides it.
+    if type(scheme)._note_user_writes is not FTLScheme._note_user_writes:
+        note = scheme._note_user_writes
+        lp = wlpns.tolist()
+        np_ = wpages.tolist()
+        for i in range(nreq):
+            note(lp[i], np_[i])
+
+    io = scheme.io_counters
+    io.write_requests += nreq
+    io.logical_pages_written += P
+    io.user_pages_programmed += P
+
+    if P == 0:
+        return
+
+    # ---- flat page stream ------------------------------------------------
+    ends = np.cumsum(wpages)
+    req_of_page = np.repeat(np.arange(nreq, dtype=np.int64), wpages)
+    within = np.arange(P, dtype=np.int64) - np.repeat(ends - wpages, wpages)
+    lpn_p = np.repeat(wlpns, wpages) + within
+
+    # ---- placement: one allocate_run call per block stretch --------------
+    page_now = wstarts[req_of_page]
+    ppn_p = np.empty(P, dtype=np.int64)
+    pos = 0
+    hot = Region.HOT
+    active = allocator._active
+    active_free = allocator._active_free
+    touched_blocks = set()
+    while pos < P:
+        af = active_free[hot] if active[hot] is not None else ppb
+        take = af if af < P - pos else P - pos
+        # The reference stamps a block once per request touching it; the
+        # final stamp is the service start of the last such request.
+        stamp = float(page_now[pos + take - 1])
+        base, count = allocator.allocate_run(hot, P - pos, stamp)
+        assert count == take, "allocate_run cap drifted from prediction"
+        ppn_p[pos : pos + count] = np.arange(base, base + count, dtype=np.int64)
+        touched_blocks.add(base // ppb)
+        pos += count
+
+    # ---- occurrence analysis --------------------------------------------
+    uniq, first_pos = np.unique(lpn_p, return_index=True)
+    if uniq.size == P:
+        # No LPN written twice in the run (the common case): every page
+        # survives, nothing is born dead.
+        last_pos = first_pos
+        live_ppns = ppn_p[last_pos]
+        born_dead = ppn_p[:0]
+    else:
+        _, rev_pos = np.unique(lpn_p[::-1], return_index=True)
+        last_pos = P - 1 - rev_pos  # aligned with uniq (both sorted by LPN)
+        live_ppns = ppn_p[last_pos]
+        dead_mask = np.ones(P, dtype=bool)
+        dead_mask[last_pos] = False
+        born_dead = ppn_p[dead_mask]
+
+    # Pre-grow the forward map before taking its view: array.array
+    # refuses to extend while a NumPy export is alive.
+    max_lpn = int(lpn_p.max())
+    if max_lpn >= len(mapping._fwd):
+        mapping._grow_lpn(max_lpn)
+
+    ref_view = views.ref
+    solo_view = views.solo
+    fp_view = views.fp
+    peak_view = views.peak
+    fwd_view = views.fwd()
+
+    # Previous mapping of each distinct LPN (gathered before any drop
+    # mutates the reverse columns).
+    old0 = fwd_view[uniq]
+    mapped_sel = old0 >= 0
+    prev_ppns = old0[mapped_sel]
+    refs0 = ref_view[prev_ppns]
+    shared_sel = refs0 >= 2
+
+    # ---- initially-shared overwrites: reference path ---------------------
+    if shared_sel.any():
+        drop = mapping._drop_ref
+        release = scheme._release_if_dead
+        for lpn, ppn in zip(
+            uniq[mapped_sel][shared_sel].tolist(), prev_ppns[shared_sel].tolist()
+        ):
+            drop(ppn, lpn)
+            release(ppn)
+
+    # ---- vectorized effects ----------------------------------------------
+    # Initially-solo overwrites die wholesale (distinct PPNs: a
+    # refcount-1 page has exactly one referrer).
+    dying = prev_ppns[~shared_sel]
+    hist = tracker.histogram
+    inval = born_dead
+    if dying.size:
+        ref_view[dying] = 0
+        solo_view[dying] = -1
+        _bucket_invalidations(hist, np.maximum(peak_view[dying], 1))
+        peak_view[dying] = 0
+        negative = scheme.page_fp._negative
+        if negative:  # hand-built negative fps: exact path
+            fpd = fp_view[dying]
+            for ppn in dying[fpd == _FP_NEGATIVE].tolist():
+                negative.pop(ppn, None)
+        fp_view[dying] = _FP_ABSENT
+        _remove_canonical(index, views, dying)
+        flash.page_state[dying] = PageState.INVALID
+        inval = np.concatenate([born_dead, dying])
+
+    # In-run born-dead pages: bind and drop cancel; only the flash
+    # invalidation and the refcount-1 histogram event remain.
+    if born_dead.size:
+        _bucket_invalidations(hist, np.maximum(peak_view[born_dead], 1))
+        peak_view[born_dead] = 0
+        _remove_canonical(index, views, born_dead)
+        flash.page_state[born_dead] = PageState.INVALID
+
+    # Per-block valid/invalid counter deltas in one bincount.
+    if inval.size:
+        inval_blocks = inval // ppb
+        delta = np.bincount(inval_blocks, minlength=flash.blocks).astype(np.int32)
+        flash.valid_count -= delta
+        flash.invalid_count += delta
+        touched_blocks.update(inval_blocks.tolist())
+
+    # Final occurrences: one scatter per column.
+    fwd_view[uniq] = live_ppns
+    ref_view[live_ppns] = 1
+    solo_view[live_ppns] = uniq
+    fp_view[live_ppns] = fps[last_pos]
+    peak_view[live_ppns] = np.maximum(peak_view[live_ppns], 1)
+    mapping._len += int(uniq.size) - int(prev_ppns.size)
+    del fwd_view
+
+    # ---- victim-index reconciliation -------------------------------------
+    sync = scheme.victim_index.sync_block
+    tb = np.fromiter(touched_blocks, dtype=np.int64, count=len(touched_blocks))
+    inv = flash.invalid_count[tb]
+    full = flash.write_ptr[tb] == ppb
+    for block, invalid, is_full in zip(tb.tolist(), inv.tolist(), full.tolist()):
+        sync(block, invalid, is_full)
+
+
+def _bucket_invalidations(hist, peaks: np.ndarray) -> None:
+    """Fold a batch of lifetime peaks into the Fig 6 histogram."""
+    hist.ref1 += int(np.count_nonzero(peaks <= 1))
+    hist.ref2 += int(np.count_nonzero(peaks == 2))
+    hist.ref3 += int(np.count_nonzero(peaks == 3))
+    hist.ref_gt3 += int(np.count_nonzero(peaks > 3))
+
+
+def _remove_canonical(index, views: ColumnViews, ppns: np.ndarray) -> None:
+    """Drop index entries for any of ``ppns`` that are canonical.
+
+    Bulk foreground writes never make pages canonical, so the common
+    case (empty index) is two O(1) checks and no work; pages a GC pass
+    promoted to canonical go through the reference removal (tombstone
+    handling).
+    """
+    if len(index) == 0:
+        return
+    if index._fallback_ppn:
+        for ppn in ppns.tolist():
+            index.remove_ppn(ppn)
+        return
+    hits = ppns[views.rev[ppns] != _IDX_EMPTY]
+    if hits.size:
+        for ppn in hits.tolist():
+            index.remove_ppn(ppn)

@@ -89,6 +89,34 @@ class LatencyRecorder:
         self._buf[self._n] = latency_us
         self._n += 1
 
+    def record_many(self, latencies_us: np.ndarray) -> None:
+        """Append a whole batch of samples at once.
+
+        Bit-identical to calling :meth:`record` in a loop: exact mode
+        bulk-copies into the sample buffer; histogram mode still folds
+        one sample at a time because ``_sum`` accumulates in request
+        order (float addition is not associative).
+        """
+        arr = np.ascontiguousarray(latencies_us, dtype=np.float64)
+        if arr.size == 0:
+            return
+        if np.min(arr) < 0:
+            raise ValueError(f"negative latency {float(np.min(arr))}")
+        if not self.keep_samples:
+            for value in arr.tolist():
+                self._record_binned(value)
+            return
+        need = self._n + arr.size
+        if need > len(self._buf):
+            capacity = len(self._buf)
+            while capacity < need:
+                capacity *= 2
+            grown = np.empty(capacity, dtype=np.float64)
+            grown[: self._n] = self._buf[: self._n]
+            self._buf = grown
+        self._buf[self._n : need] = arr
+        self._n = need
+
     def _record_binned(self, latency_us: float) -> None:
         if latency_us < _HIST_LO_US:
             idx = 0

@@ -33,9 +33,11 @@ from repro.obs.trace import (
     TRACK_GC_READ,
     TRACK_GC_WRITE,
     TRACK_IO,
+    TRACK_KERNEL,
     TraceEvent,
     Tracer,
     hash_lane_track,
+    kernel_attribution,
     validate_chrome_trace,
 )
 
@@ -48,6 +50,8 @@ __all__ = [
     "TRACK_GC_READ",
     "TRACK_GC_WRITE",
     "TRACK_IO",
+    "TRACK_KERNEL",
+    "kernel_attribution",
     "TraceEvent",
     "Tracer",
     "hash_lane_track",

@@ -46,6 +46,11 @@ TRACK_IO = "io"
 TRACK_GC = "gc"
 TRACK_GC_READ = "gc.read"
 TRACK_GC_WRITE = "gc.write"
+#: Batched-replay instrumentation: per-run ``batch`` spans (args carry
+#: the request/page counts and wall time) plus ``batch-size`` and
+#: ``fallback-rate`` counters, emitted by ``repro.kernel`` instead of
+#: per-request ``io`` spans when the vectorized kernel is active.
+TRACK_KERNEL = "kernel"
 
 
 def hash_lane_track(lane: int) -> str:
@@ -150,6 +155,10 @@ class Tracer:
 
     # ------------------------------------------------------------------ read
 
+    def kernel_attribution(self) -> Dict[str, float]:
+        """Summarize the ``kernel`` track (see :func:`kernel_attribution`)."""
+        return kernel_attribution(self)
+
     def events(self) -> Iterator[TraceEvent]:
         return iter(self._events)
 
@@ -241,6 +250,48 @@ class Tracer:
                 self.write_chrome(fp)
             else:
                 self.write_jsonl(fp)
+
+
+def kernel_attribution(tracer: "Tracer") -> Dict[str, float]:
+    """Attribute replay work between the vectorized and fallback paths.
+
+    Folds the ``kernel`` track — ``batch`` spans from the vectorized
+    kernels, ``fallback`` spans for every request the orchestrator
+    routed through the reference slow path — into one summary dict:
+    request counts per path, the host wall time each path consumed
+    (from the spans' ``wall_us`` arg), the mean batch size, and the
+    fallback rate.  Empty track -> all-zero dict, so report surfaces
+    can render it unconditionally.
+    """
+    batches = 0
+    batched_requests = 0
+    batched_pages = 0
+    fallback_requests = 0
+    vectorized_wall_us = 0.0
+    fallback_wall_us = 0.0
+    for event in tracer.events():
+        if event.track != TRACK_KERNEL or event.kind != "span":
+            continue
+        args = event.args or {}
+        if event.name == "batch":
+            batches += 1
+            batched_requests += int(args.get("requests", 0))
+            batched_pages += int(args.get("pages", 0))
+            vectorized_wall_us += float(args.get("wall_us", 0.0))
+        elif event.name == "fallback":
+            fallback_requests += int(args.get("requests", 1))
+            fallback_wall_us += float(args.get("wall_us", 0.0))
+    total = batched_requests + fallback_requests
+    return {
+        "batches": float(batches),
+        "batched_requests": float(batched_requests),
+        "batched_pages": float(batched_pages),
+        "fallback_requests": float(fallback_requests),
+        "fallback_rate": (fallback_requests / total) if total else 0.0,
+        "mean_batch_requests": (batched_requests / batches) if batches else 0.0,
+        "vectorized_wall_us": vectorized_wall_us,
+        "fallback_wall_us": fallback_wall_us,
+    }
 
 
 def validate_chrome_trace(doc: dict) -> List[str]:

@@ -24,6 +24,7 @@ from repro.oracle.diff import (
     Divergence,
     build_scheme,
     compare_snapshots,
+    diff_kernels,
     diff_trace,
 )
 from repro.oracle.fuzz import PROFILES, fuzz_config, fuzz_trace
@@ -38,6 +39,7 @@ __all__ = [
     "Divergence",
     "build_scheme",
     "compare_snapshots",
+    "diff_kernels",
     "diff_trace",
     "PROFILES",
     "fuzz_config",

@@ -257,3 +257,82 @@ def _diff_device_replay(
     if msg:
         return Divergence(-1, "state", msg, scheme_name, policy)
     return None
+
+
+def diff_kernels(
+    trace: Trace,
+    scheme: str = "baseline",
+    policy: str = "greedy",
+    config: Optional[SSDConfig] = None,
+) -> Optional[Divergence]:
+    """Replay ``trace`` under ``kernel=reference`` and
+    ``kernel=vectorized`` and return the first observable difference.
+
+    Unlike :func:`diff_trace` this diffs the two replay *paths* against
+    each other, not against the naive model.  The kernel contract is
+    bit identity, so everything a replay produces must match exactly:
+    the per-request response-time trajectory, the GC/IO counters, wear,
+    simulated time, and the full logical state snapshot.  Structural
+    invariants are checked on both devices so a divergence that keeps
+    the snapshots equal but corrupts internal bookkeeping still trips.
+    """
+    import numpy as np
+
+    from dataclasses import replace as _dc_replace
+
+    from repro.device.ssd import SSD
+
+    if config is None:
+        from repro.oracle.fuzz import fuzz_config
+
+        config = fuzz_config()
+    results = {}
+    snapshots = {}
+    for kernel in ("reference", "vectorized"):
+        cfg = _dc_replace(config, kernel=kernel)
+        ssd = SSD(build_scheme(scheme, policy, cfg))
+        try:
+            results[kernel] = ssd.replay(trace)
+            check_all(ssd)
+        except AssertionError as exc:
+            return Divergence(-1, "invariant", f"[{kernel}] {exc}", scheme, policy)
+        except Exception as exc:
+            return Divergence(
+                -1,
+                "exception",
+                f"[{kernel}] {type(exc).__name__}: {exc}",
+                scheme,
+                policy,
+            )
+        snapshots[kernel] = ssd.state_snapshot()
+    ref, vec = results["reference"], results["vectorized"]
+    a, b = ref.response_times_us, vec.response_times_us
+    if len(a) != len(b):
+        return Divergence(
+            -1,
+            "state",
+            f"recorded {len(a)} vs {len(b)} response times",
+            scheme,
+            policy,
+        )
+    if not np.array_equal(a, b):
+        first = int(np.argmax(a != b))
+        return Divergence(
+            first,
+            "state",
+            f"response time {a[first]!r} (reference) vs {b[first]!r} (vectorized)",
+            scheme,
+            policy,
+        )
+    for label, ra, rb in (
+        ("simulated_us", ref.simulated_us, vec.simulated_us),
+        ("gc counters", ref.gc, vec.gc),
+        ("io counters", ref.io, vec.io),
+        ("wear", ref.wear, vec.wear),
+        ("state snapshot", snapshots["reference"], snapshots["vectorized"]),
+    ):
+        if ra != rb:
+            return Divergence(
+                -1, "state", f"{label}: {ra!r} != {rb!r}", scheme, policy
+            )
+    return None

