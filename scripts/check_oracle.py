@@ -70,6 +70,12 @@ def main(argv=None) -> int:
         "(bit-identity sweep) instead of against the naive oracle model",
     )
     parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="attach RunTelemetry to both replay paths and diff the "
+        "folded latency histograms too (kernel-equivalence mode only)",
+    )
+    parser.add_argument(
         "--shrink",
         action="store_true",
         help="delta-debug each diverging trace and save it under tests/regress/",
@@ -90,7 +96,11 @@ def main(argv=None) -> int:
                 runs += 1
                 if args.kernel_equivalence:
                     divergence = diff_kernels(
-                        trace, scheme=scheme, policy=policy, config=config
+                        trace,
+                        scheme=scheme,
+                        policy=policy,
+                        config=config,
+                        telemetry=args.trace,
                     )
                 else:
                     divergence = diff_trace(
@@ -108,7 +118,11 @@ def main(argv=None) -> int:
                     if args.kernel_equivalence:
                         predicate = (
                             lambda tr, s=scheme, p=policy: diff_kernels(
-                                tr, scheme=s, policy=p, config=config
+                                tr,
+                                scheme=s,
+                                policy=p,
+                                config=config,
+                                telemetry=args.trace,
                             )
                             is not None
                         )

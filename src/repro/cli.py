@@ -612,12 +612,6 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         )
     scheme = make_scheme(args.scheme, config, policy=make_policy(args.policy))
     tracer, telemetry, heartbeat = _make_observers(args)
-    if config.kernel == "vectorized":
-        # Per-request telemetry (and heartbeat) force the reference
-        # path (`kernel_eligible`); the tracer alone keeps the batched
-        # kernels live and yields the kernel-attribution rows below.
-        telemetry = None
-        heartbeat = None
     start = time.time()
     if args.device == "parallel":
         from repro.device.parallel import ParallelSSD
@@ -671,6 +665,25 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
                 f"{attr['fallback_wall_us'] / 1e3:.1f}ms",
             )
         )
+        # Per-reason fallback attribution (only reasons that occurred).
+        for key in sorted(attr):
+            if key.startswith("fallback_requests[") or key.startswith(
+                "gc_fallbacks["
+            ):
+                rows.append((f"kernel {key}", f"{attr[key]:.0f}"))
+        gc_stats = getattr(scheme, "kernel_gc_stats", None)
+        if gc_stats:
+            rows.append(
+                (
+                    "kernel GC collects",
+                    ", ".join(
+                        f"{key}={count}"
+                        for key, count in gc_stats.items()
+                        if count
+                    )
+                    or "none",
+                )
+            )
     print(
         format_table(
             ("Metric", "Value"),

@@ -3,25 +3,32 @@
 The kernel/orchestrator split behind ``config.kernel = "vectorized"``:
 
 * :mod:`repro.kernel.orchestrator` — chunked replay driver: slices raw
-  trace columns, predicts GC-trigger boundaries, and routes everything
+  trace columns, finds GC-trigger boundaries, and routes everything
   between them through the batched kernels (and everything else through
   the reference per-request path);
 * :mod:`repro.kernel.write` — the write-service kernel: one run of
   bulk-scheme writes as column scatters;
+* :mod:`repro.kernel.inline` — the inline-dedupe foreground kernel:
+  plan/apply split over a window of hashed writes (vectorized index
+  probe, integer-handle resolution loop, net-final state scatters);
+* :mod:`repro.kernel.probe` — vectorized batch ``peek`` over the
+  open-addressed fingerprint table;
 * :mod:`repro.kernel.gcmig` — the GC-migration kernel for plain-copy
-  victim collection;
-* :mod:`repro.kernel.cagcmig` — the lean scalar collect for CAGC's
-  inherently sequential dedup/promotion victim walk;
+  victim collection (baseline and inline-dedupe metadata moves);
+* :mod:`repro.kernel.cagcmig` — the batched CAGC victim collection
+  (dedup/promotion walk replayed as phases over the pipeline model);
 * :mod:`repro.kernel.views` — cached zero-copy NumPy views over the
   columnar FTL/dedup stores the kernels scatter into;
-* :mod:`repro.kernel._njit` — optional numba tier for the two
-  irreducibly sequential scalar loops.
+* :mod:`repro.kernel._njit` — optional numba tier for the irreducibly
+  sequential scalar recurrences.
 
 Every path is bit-identical to ``kernel = "reference"`` — the
 differential oracle diffs the two continuously (the
-``kernel-equivalence`` fuzz profile).
+``kernel-equivalence`` fuzz profile).  The replay chunk size comes from
+``SSDConfig.kernel_chunk_requests`` (``REPRO_KERNEL_CHUNK`` env
+override).
 """
 
-from repro.kernel.orchestrator import CHUNK_REQUESTS, kernel_eligible, replay_vectorized
+from repro.kernel.orchestrator import kernel_eligible, replay_vectorized
 
-__all__ = ["CHUNK_REQUESTS", "kernel_eligible", "replay_vectorized"]
+__all__ = ["kernel_eligible", "replay_vectorized"]

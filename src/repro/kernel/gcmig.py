@@ -1,32 +1,37 @@
-"""Vectorized GC-migration kernel (baseline victim collection).
+"""Vectorized GC-migration kernel (plain-copy victim collection).
 
-The baseline scheme's :meth:`collect_block` is a pure copy loop: every
-valid page of the victim moves to the victim's own region, carrying its
-mapping, fingerprint and peak history along — no dedup lookups, no
-promotions, no mid-pass state feedback.  That makes the whole pass one
-mask-classification plus a handful of scatters:
+The baseline and inline-dedupe schemes collect a victim with the base
+:meth:`collect_block` copy loop: every valid page moves to the victim's
+own region, carrying its mapping, fingerprint and peak history along —
+no dedup lookups, no promotions, no mid-pass state feedback.  That
+makes the whole pass one mask-classification plus a handful of
+scatters:
 
-* gather the victim's valid PPNs and classify them in one pass (the
-  gate below: every page must be solo-referenced and non-canonical —
-  always true for baseline, re-checked per victim so the kernel
+* gather the victim's valid PPNs and classify them in one pass (for
+  baseline the gate requires every page solo-referenced and
+  non-canonical — always true, re-checked per victim so the kernel
   degrades to the reference loop instead of corrupting state if a
-  subclass ever changes the invariants);
+  subclass ever changes the invariants; for inline-dedupe shared and
+  canonical pages are expected and handled);
 * allocate destination pages in ``allocate_run`` stretches (same PPN
   order as the reference's per-page ``allocate_page`` calls);
-* remap/move fingerprints/rekey peaks with one scatter per column;
+* remap/move fingerprints/rekey peaks with one scatter per column
+  (shared referrer sets transfer wholesale; canonical index entries
+  move in-place in victim order);
 * skip the per-page invalidation of the victim: the erase immediately
   after resets the same page states, so only ``valid_count`` needs
   zeroing first (the victim's index membership ends the same way — the
   erase hook removes it).
 
-CAGC's collection keeps the reference per-page loop: its mid-pass index
-inserts, promotions and cold-capacity feedback make later pages depend
-on earlier ones, which is exactly the content-awareness under test.
+CAGC's batched collection lives in :mod:`repro.kernel.cagcmig` (its
+mid-pass index inserts, promotions and cold-capacity feedback need a
+replayed pipeline, not plain scatters).  Per-victim path counts land in
+``scheme.kernel_gc_stats`` for the attribution report.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Dict, Optional
 
 import numpy as np
 
@@ -34,27 +39,41 @@ from repro.ftl.allocator import Region
 from repro.kernel.views import ColumnViews
 from repro.schemes.base import FTLScheme, GCBlockOutcome
 from repro.schemes.baseline import BaselineScheme
+from repro.schemes.inline_dedupe import InlineDedupeScheme
 
 _FP_ABSENT = -1
 _FP_NEGATIVE = -2
 _IDX_EMPTY = -1
 
+#: ``scheme.kernel_gc_stats`` keys: collection passes per path/reason.
+GC_STAT_KEYS = (
+    "batched",
+    "fallback[shared-or-canonical]",
+    "fallback[negative-fp]",
+)
+
 
 def install_fast_gc(scheme: FTLScheme, views: ColumnViews) -> bool:
     """Swap in the vectorized collect_block for plain-copy schemes.
 
-    Only the exact baseline qualifies: subclasses may override the
-    migration-region decision (spatial hot/cold) or the whole pass
-    (CAGC).  Returns True when installed.
+    The exact baseline and inline-dedupe schemes qualify: subclasses
+    may override the migration-region decision (spatial hot/cold) or
+    the whole pass (CAGC).  Returns True when installed.
     """
-    if type(scheme) is not BaselineScheme:
+    plain = type(scheme) is BaselineScheme
+    if not plain and type(scheme) is not InlineDedupeScheme:
         return False
     reference = scheme.collect_block
+    stats = {key: 0 for key in GC_STAT_KEYS}
+    scheme.kernel_gc_stats = stats  # type: ignore[attr-defined]
 
     def collect_block(victim: int, now_us: float) -> GCBlockOutcome:
-        outcome = _collect_block_fast(scheme, views, victim, now_us)
+        outcome = _collect_block_fast(
+            scheme, views, victim, now_us, not plain, stats
+        )
         if outcome is None:
             return reference(victim, now_us)
+        stats["batched"] += 1
         return outcome
 
     scheme.collect_block = collect_block  # type: ignore[method-assign]
@@ -62,10 +81,17 @@ def install_fast_gc(scheme: FTLScheme, views: ColumnViews) -> bool:
 
 
 def _collect_block_fast(
-    scheme: FTLScheme, views: ColumnViews, victim: int, now_us: float
+    scheme: FTLScheme,
+    views: ColumnViews,
+    victim: int,
+    now_us: float,
+    dedup_meta: bool,
+    stats: Dict[str, int],
 ) -> Optional[GCBlockOutcome]:
     """One victim collection as column scatters; None -> take the
-    reference loop (gate tripped)."""
+    reference loop (gate tripped).  ``dedup_meta`` enables the
+    inline-dedupe metadata moves (shared referrer sets, canonical
+    index entries); without it those same conditions trip the gate."""
     flash = scheme.flash
     valid = flash.valid_ppns_array(victim)
     n = len(valid)
@@ -89,20 +115,30 @@ def _collect_block_fast(
         return outcome
 
     ref_view = views.ref
-    if bool((ref_view[valid] != 1).any()):
-        return None
-    # An empty dedup index means no page anywhere is canonical, and an
-    # empty negative-fingerprint spill means no page carries one — two
-    # O(1) checks that skip the per-victim reverse/fingerprint gathers
-    # for the (always, in baseline) common case.
-    if len(scheme.index) != 0:
-        if bool(scheme.index._fallback_ppn) or bool(
-            (views.rev[valid] != _IDX_EMPTY).any()
-        ):
+    if not dedup_meta:
+        if bool((ref_view[valid] != 1).any()):
+            stats["fallback[shared-or-canonical]"] += 1
+            return None
+        # An empty dedup index means no page anywhere is canonical, and
+        # an empty negative-fingerprint spill means no page carries one
+        # — two O(1) checks that skip the per-victim reverse/fingerprint
+        # gathers for the (always, in baseline) common case.
+        if len(scheme.index) != 0:
+            if bool(scheme.index._fallback_ppn) or bool(
+                (views.rev[valid] != _IDX_EMPTY).any()
+            ):
+                stats["fallback[shared-or-canonical]"] += 1
+                return None
+    else:
+        # Negative-fp canonicals live in the index's fallback dicts,
+        # invisible to the reverse column the scatters below move.
+        if scheme.index._fallback_ppn:
+            stats["fallback[negative-fp]"] += 1
             return None
     if scheme.page_fp._negative and bool(
         (views.fp[valid] == _FP_NEGATIVE).any()
     ):
+        stats["fallback[negative-fp]"] += 1
         return None
 
     region = scheme.allocator.region_of(victim)
@@ -119,16 +155,50 @@ def _collect_block_fast(
         new_ppns[pos : pos + count] = np.arange(base, base + count, dtype=np.int64)
         pos += count
 
-    # Remap: all solo pages, all destinations fresh.
+    # Remap: destinations are fresh, so each source page's referrers
+    # transfer wholesale (solo pages as column scatters, shared pages
+    # by handing the referrer set to the new PPN).
     solo_view = views.solo
     fwd_view = views.fwd()
-    lpns = solo_view[valid].copy()
-    fwd_view[lpns] = new_ppns
+    if dedup_meta:
+        solo_sel = ref_view[valid] == 1
+        solo_old = valid[solo_sel]
+        solo_new = new_ppns[solo_sel]
+        lpns = solo_view[solo_old].copy()
+        fwd_view[lpns] = solo_new
+        solo_view[solo_old] = -1
+        ref_view[solo_old] = 0
+        ref_view[solo_new] = 1
+        solo_view[solo_new] = lpns
+        if not bool(solo_sel.all()):
+            shared = scheme.mapping._shared
+            for old, new in zip(
+                valid[~solo_sel].tolist(), new_ppns[~solo_sel].tolist()
+            ):
+                referrers = shared.pop(old)
+                for moved_lpn in referrers:
+                    fwd_view[moved_lpn] = new
+                shared[new] = referrers
+                ref_view[new] = len(referrers)
+                ref_view[old] = 0
+        # Canonical index entries move in-place (victim order, exactly
+        # the reference's per-page ``index.move`` calls).
+        rev_view = views.rev
+        canon_sel = rev_view[valid] != _IDX_EMPTY
+        if bool(canon_sel.any()):
+            move = scheme.index.move
+            for old, new in zip(
+                valid[canon_sel].tolist(), new_ppns[canon_sel].tolist()
+            ):
+                move(old, new)
+    else:
+        lpns = solo_view[valid].copy()
+        fwd_view[lpns] = new_ppns
+        ref_view[valid] = 0
+        solo_view[valid] = -1
+        ref_view[new_ppns] = 1
+        solo_view[new_ppns] = lpns
     del fwd_view
-    ref_view[valid] = 0
-    solo_view[valid] = -1
-    ref_view[new_ppns] = 1
-    solo_view[new_ppns] = lpns
 
     # Fingerprints follow the pages; peaks rekey onto the new PPNs.
     fp_view = views.fp

@@ -3,32 +3,41 @@
 ``replay_vectorized`` reproduces :meth:`repro.device.ssd.SSD.replay`
 bit for bit without the event engine.  The FIFO single-server device
 makes request timing a pure recurrence — ``completion_i =
-max(arrival_i, completion_{i-1}) + duration_i`` — and for bulk schemes
-(baseline, CAGC, spatial hot/cold) every non-GC-triggering request's
-duration is state-independent, so the replay factors into *runs*:
+max(arrival_i, completion_{i-1}) + duration_i`` — and the replay
+factors into *runs* of requests with no GC trigger or trim between
+them:
 
 1. slice a chunk of raw trace columns (``Trace.iter_chunks`` /
-   ``StreamingTrace.iter_chunks``);
-2. predict, from the allocator state alone, the first write in the
-   chunk whose free-block check crosses the GC watermark (an exact
-   integer prefix scan over the write page counts — no state is
-   touched to find it);
-3. everything before that boundary is one *run*: service times come
-   from one elementwise pass, completions from the sequential
-   recurrence (njit-compiled when numba is importable), latencies land
-   via ``LatencyRecorder.record_many``, and the writes' state effects
-   apply through :func:`repro.kernel.write.apply_write_run`;
+   ``StreamingTrace.iter_chunks``; the chunk size comes from
+   ``SSDConfig.kernel_chunk_requests``);
+2. find the run boundary.  For bulk schemes every write programs all
+   its pages, so the first GC-triggering write follows from the
+   allocator state alone (an exact integer prefix scan over the write
+   page counts).  For the inline-dedupe scheme only dedup *misses*
+   program, so :func:`repro.kernel.inline.plan_inline_run` resolves
+   the window's dedup outcomes read-only — one vectorized index probe
+   plus a dict loop — with the same watermark check fused in;
+3. everything before that boundary is one run: service times come from
+   one elementwise pass (bulk) or the plan's per-request program
+   counts (inline), completions from the sequential recurrence
+   (njit-compiled when numba is importable), latencies land via
+   ``LatencyRecorder.record_many`` (and, when telemetry is attached,
+   one exact histogram fold plus boundary-clocked snapshots through
+   ``RunTelemetry.on_batch``), and the writes' state effects apply
+   through :func:`repro.kernel.write.apply_write_run` or
+   :func:`repro.kernel.inline.apply_inline_run`;
 4. the boundary request (GC-triggering write, or any trim) goes
    through the reference scheme calls — same ``run_gc`` /
-   ``write_request`` / ``trim_request``, same post-GC hook and
-   timeline sampling — and the scan restarts behind it.
+   ``write_request`` / ``trim_request``, same post-GC hook, telemetry
+   and timeline sampling — and the scan restarts behind it.
 
 Requests the batched kernels do not model (negative fingerprints in a
 chunk) drop to the same per-request reference path, so the fallback is
 row-granular, never a mid-run abort.  The ``kernel`` tracer track
 records one ``batch`` span per run and one ``fallback`` span per
-slow-path request (with host ``wall_us`` attribution), which
-``repro.obs.kernel_attribution`` folds into the report.
+slow-path request (with host ``wall_us`` attribution and a ``reason``
+tag — ``gc-trigger``, ``trim`` or ``negative-fp``), which
+``repro.obs.kernel_attribution`` folds into per-reason report rows.
 """
 
 from __future__ import annotations
@@ -43,9 +52,11 @@ from repro.ftl.allocator import Region
 from repro.kernel._njit import completion_recurrence, first_trigger
 from repro.kernel.cagcmig import install_fast_cagc
 from repro.kernel.gcmig import install_fast_gc
+from repro.kernel.inline import apply_inline_run, plan_inline_run
 from repro.kernel.views import ColumnViews
 from repro.kernel.write import apply_write_run
 from repro.obs.trace import TRACK_KERNEL
+from repro.schemes.inline_dedupe import InlineDedupeScheme
 from repro.sim.engine import SimulationError
 from repro.workloads.request import OpKind
 
@@ -53,29 +64,33 @@ _OP_WRITE = int(OpKind.WRITE)
 _OP_READ = int(OpKind.READ)
 _OP_TRIM = int(OpKind.TRIM)
 
-#: Default request-chunk size when replaying a materialized trace.
-CHUNK_REQUESTS = 65536
+#: Inline-dedupe plan window bounds (requests).  The plan re-resolves
+#: from scratch after every GC boundary, so the window adapts to the
+#: observed run length: big windows amortize the vectorized probe over
+#: dedup-heavy traffic, small ones bound the wasted lookahead when GC
+#: triggers every few dozen writes.
+_PLAN_WINDOW_MIN = 256
+_PLAN_WINDOW_MAX = 8192
 
 
 def kernel_eligible(ssd: SSD, trace) -> bool:
     """Can this (device, trace) pair take the vectorized path?
 
     The batched kernels model the default replay configuration:
-    blocking foreground GC, no DRAM write buffer, no per-request
-    telemetry/heartbeat observers, and a bulk-write scheme (inline
-    dedup hashes on the foreground path, which is inherently
-    per-page).  Post-GC hooks and tracers are supported.  Anything
-    else silently takes the reference event loop under the same
-    ``FTLScheme`` interface.
+    blocking foreground GC, no DRAM write buffer, and either a
+    bulk-write scheme or the inline-dedupe scheme (whose foreground
+    hash/lookup path has its own plan/apply kernel).  Post-GC hooks,
+    tracers, telemetry and heartbeats are supported — telemetry folds
+    per-batch with exact histogram counts, snapshots clock at batch
+    boundaries.  Anything else silently takes the reference event loop
+    under the same ``FTLScheme`` interface.
     """
     scheme = ssd.scheme
     return (
         scheme.config.kernel == "vectorized"
         and scheme.config.gc_mode == "blocking"
         and ssd.buffer is None
-        and ssd.telemetry is None
-        and ssd.heartbeat is None
-        and scheme.bulk_user_writes
+        and (scheme.bulk_user_writes or type(scheme) is InlineDedupeScheme)
         and hasattr(trace, "iter_chunks")
     )
 
@@ -87,15 +102,19 @@ def replay_vectorized(ssd: SSD, trace) -> RunResult:
     install_fast_gc(scheme, views) or install_fast_cagc(scheme, views)
     timing = scheme.timing
     channels = scheme.flash.geometry.channels
+    lanes = timing.hash_lanes
     allocator = scheme.allocator
     ppb = scheme.flash.pages_per_block
     trigger_blocks = scheme._gc_trigger_blocks
     latency = ssd.latency
     tracer = ssd.tracer
+    telemetry = ssd.telemetry
+    heartbeat = ssd.heartbeat
     hot = Region.HOT
+    inline = not scheme.bulk_user_writes  # eligibility: inline-dedupe
 
     try:
-        chunks = trace.iter_chunks(CHUNK_REQUESTS)
+        chunks = trace.iter_chunks(scheme.config.kernel_chunk_requests)
     except TypeError:
         chunks = trace.iter_chunks()  # streaming traces fix their own size
 
@@ -103,6 +122,7 @@ def replay_vectorized(ssd: SSD, trace) -> RunResult:
     served = False  # at least one request completed (sim clock moved)
     last_time = 0.0
     fallback_requests = 0
+    window = 1024  # current inline plan window (requests)
 
     for chunk in chunks:
         n = len(chunk)
@@ -139,7 +159,7 @@ def replay_vectorized(ssd: SSD, trace) -> RunResult:
                 )
                 t = _slow_request(
                     ssd, float(times[i]), int(ops[i]), int(lpns[i]),
-                    int(npages[i]), fview, t, tracer,
+                    int(npages[i]), fview, t, tracer, "negative-fp",
                 )
                 fallback_requests += 1
                 served = True
@@ -148,7 +168,10 @@ def replay_vectorized(ssd: SSD, trace) -> RunResult:
         # contiguous-slice fast path below; route them per-request too.
         contiguous = int(np.where(~is_write, lengths, 0).sum()) == 0
 
-        # Elementwise service durations (state-independent inside runs).
+        # Elementwise service durations.  Write durations are
+        # state-independent for bulk schemes; for inline-dedupe they
+        # depend on the per-request dedup miss count, so the plan
+        # scatters them in per run below.
         slots = (npages.astype(np.int64) + (channels - 1)) // channels
         durations = np.where(
             is_write,
@@ -184,26 +207,88 @@ def replay_vectorized(ssd: SSD, trace) -> RunResult:
                 if trim_cursor < len(trim_positions)
                 else n
             )
-            # First GC-triggering write in [i, stop): exact integer
-            # prediction from the allocator state (reads don't allocate).
-            lo = int(np.searchsorted(write_positions, i))
-            hi = int(np.searchsorted(write_positions, stop))
-            w = write_positions[lo:hi]
-            e = stop
-            if w.size:
-                wn = wn_all[w]
-                cum_before = np.cumsum(wn) - wn
-                af0 = (
-                    allocator._active_free[hot]
-                    if allocator._active[hot] is not None
-                    else 0
-                )
-                budget = allocator.free_blocks - trigger_blocks
-                jw = first_trigger(cum_before, af0, ppb, budget)
-                if jw >= 0:
-                    e = int(w[jw])
-                    w = w[:jw]
-                    wn = wn[:jw]
+            reason: Optional[str] = None
+            plan = None
+            wfps = None
+            if inline:
+                # Inline plan window: resolve at most `window` requests
+                # ahead (the plan restarts after every boundary, so the
+                # lookahead bounds wasted work, not correctness — a
+                # window edge is just another place a run may split).
+                win = stop if stop - i <= window else i + window
+                lo = int(np.searchsorted(write_positions, i))
+                hi = int(np.searchsorted(write_positions, win))
+                w = write_positions[lo:hi]
+                e = win
+                if w.size:
+                    wn = wn_all[w]
+                    pages = int(wn.sum())
+                    if contiguous:
+                        wfps = fps_flat[offsets[i] : offsets[win]]
+                    else:
+                        wfps = np.concatenate(
+                            [
+                                fps_flat[offsets[j] : offsets[j + 1]]
+                                for j in w.tolist()
+                            ]
+                        ) if pages else fps_flat[:0]
+                    af0 = (
+                        allocator._active_free[hot]
+                        if allocator._active[hot] is not None
+                        else 0
+                    )
+                    budget = allocator.free_blocks - trigger_blocks
+                    jw, plan = plan_inline_run(
+                        scheme, views, lpns[w], wn, wfps, af0, budget, ppb
+                    )
+                    if jw < w.size:
+                        e = int(w[jw])
+                        reason = "gc-trigger"
+                        w = w[:jw]
+                        wn = wn[:jw]
+                        wfps = wfps[: int(wn.sum())]
+                    if w.size:
+                        progs = plan.programs[: w.size]
+                        base_w = np.where(
+                            progs > 0,
+                            timing.overhead_us
+                            + ((progs + (channels - 1)) // channels)
+                            * timing.write_us,
+                            timing.overhead_us,
+                        )
+                        dur_w = base_w + (
+                            ((wn + (lanes - 1)) // lanes) * timing.hash_us
+                            + wn * timing.lookup_us
+                        )
+                        durations[w] = dur_w + np.where(
+                            progs == 0, timing.lookup_us, 0.0
+                        )
+                if reason is None and e == stop and stop < n:
+                    reason = "trim"
+            else:
+                # Bulk: the first GC-triggering write in [i, stop) is an
+                # exact integer prediction from the allocator state.
+                lo = int(np.searchsorted(write_positions, i))
+                hi = int(np.searchsorted(write_positions, stop))
+                w = write_positions[lo:hi]
+                e = stop
+                if w.size:
+                    wn = wn_all[w]
+                    cum_before = np.cumsum(wn) - wn
+                    af0 = (
+                        allocator._active_free[hot]
+                        if allocator._active[hot] is not None
+                        else 0
+                    )
+                    budget = allocator.free_blocks - trigger_blocks
+                    jw = first_trigger(cum_before, af0, ppb, budget)
+                    if jw >= 0:
+                        e = int(w[jw])
+                        reason = "gc-trigger"
+                        w = w[:jw]
+                        wn = wn[:jw]
+                if reason is None and e < n:
+                    reason = "trim"
             if e > i:
                 wall0 = time.perf_counter()
                 seg_times = times[i:e]
@@ -212,9 +297,14 @@ def replay_vectorized(ssd: SSD, trace) -> RunResult:
                     np.ascontiguousarray(durations[i:e]),
                     t,
                 )
-                latency.record_many(completions - seg_times)
+                lat_batch = completions - seg_times
+                latency.record_many(lat_batch)
                 ssd.requests_completed += e - i
                 served = True
+                if telemetry is not None:
+                    telemetry.on_batch(lat_batch, t, ssd)
+                if heartbeat is not None:
+                    heartbeat.tick(t, ssd.requests_completed, ssd.requests_completed)
                 # Reads: counter-only effects.
                 seg_reads = (~is_write[i:e]).sum()  # no trims inside a run
                 if seg_reads:
@@ -226,19 +316,24 @@ def replay_vectorized(ssd: SSD, trace) -> RunResult:
                 pages = 0
                 if w.size:
                     pages = int(wn.sum())
-                    if contiguous:
-                        # Non-write spans are empty, so the writes'
-                        # fingerprints are one contiguous slice.
-                        wfps = fps_flat[offsets[i] : offsets[i] + pages]
-                    else:
-                        wfps = np.concatenate(
-                            [
-                                fps_flat[offsets[j] : offsets[j + 1]]
-                                for j in w.tolist()
-                            ]
-                        ) if pages else fps_flat[:0]
                     starts = completions[w - i] - durations[w]
-                    apply_write_run(scheme, views, lpns[w], wn, wfps, starts)
+                    if inline:
+                        apply_inline_run(
+                            scheme, views, lpns[w], wn, wfps, starts, plan
+                        )
+                    else:
+                        if contiguous:
+                            # Non-write spans are empty, so the writes'
+                            # fingerprints are one contiguous slice.
+                            wfps = fps_flat[offsets[i] : offsets[i] + pages]
+                        else:
+                            wfps = np.concatenate(
+                                [
+                                    fps_flat[offsets[j] : offsets[j + 1]]
+                                    for j in w.tolist()
+                                ]
+                            ) if pages else fps_flat[:0]
+                        apply_write_run(scheme, views, lpns[w], wn, wfps, starts)
                 if tracer is not None:
                     ts = float(completions[0] - durations[i])
                     tracer.span(
@@ -247,13 +342,13 @@ def replay_vectorized(ssd: SSD, trace) -> RunResult:
                         wall_us=(time.perf_counter() - wall0) * 1e6,
                     )
                     tracer.counter(TRACK_KERNEL, "batch_requests", ts, e - i)
-            if e < n:
+            if reason is not None and e < n:
                 fview = (
                     fps_flat[offsets[e] : offsets[e + 1]] if is_write[e] else None
                 )
                 t = _slow_request(
                     ssd, float(times[e]), int(ops[e]), int(lpns[e]),
-                    int(npages[e]), fview, t, tracer,
+                    int(npages[e]), fview, t, tracer, reason,
                 )
                 fallback_requests += 1
                 served = True
@@ -261,9 +356,24 @@ def replay_vectorized(ssd: SSD, trace) -> RunResult:
                     tracer.counter(
                         TRACK_KERNEL, "fallback_requests", t, fallback_requests
                     )
-            i = e + 1
+                i = e + 1
+            else:
+                i = e
+            if inline:
+                # Adapt the plan window to the observed run length.
+                if reason == "gc-trigger":
+                    runlen = max(int(e) - i + 1, 1)  # i already advanced
+                    window = min(
+                        _PLAN_WINDOW_MAX, max(_PLAN_WINDOW_MIN, 2 * runlen)
+                    )
+                elif window < _PLAN_WINDOW_MAX:
+                    window = min(_PLAN_WINDOW_MAX, window * 2)
 
     ssd.sim.now = t if served else ssd.sim.now
+    if telemetry is not None:
+        telemetry.snapshot(max(ssd._gc_sample_us, ssd.sim.now), ssd)
+    if heartbeat is not None:
+        heartbeat.finish(ssd.sim.now, ssd.requests_completed, ssd.requests_completed)
     return RunResult(
         scheme=scheme.name,
         trace=trace.name,
@@ -286,12 +396,14 @@ def _slow_request(
     fps: Optional[np.ndarray],
     t_prev: float,
     tracer,
+    reason: str,
 ) -> float:
     """One request through the reference scheme calls.
 
     Exactly :meth:`SSD._service` under blocking GC with no write
     buffer: the GC-triggering writes, trims, and any request the
-    batched kernels do not model.  Returns the completion time.
+    batched kernels do not model.  ``reason`` tags the fallback span
+    for the attribution report.  Returns the completion time.
     """
     wall0 = time.perf_counter()
     scheme = ssd.scheme
@@ -322,9 +434,16 @@ def _slow_request(
     completion = now + duration
     ssd.latency.record(completion - arrival)
     ssd.requests_completed += 1
+    if ssd.telemetry is not None:
+        # The reference completion event fires with the sim clock at
+        # the completion time; the histogram/snapshot view matches.
+        ssd.telemetry.on_complete(completion, completion - arrival, ssd)
+    if ssd.heartbeat is not None:
+        ssd.heartbeat.tick(completion, ssd.requests_completed, ssd.requests_completed)
     if tracer is not None:
         tracer.span(
             TRACK_KERNEL, "fallback", now, duration,
             requests=1, wall_us=(time.perf_counter() - wall0) * 1e6,
+            reason=reason,
         )
     return completion

@@ -1,0 +1,51 @@
+"""Vectorized batch ``peek`` over the open-addressed fingerprint table.
+
+The :class:`repro.dedup.index.FingerprintIndex` flat table is probed
+with a Fibonacci-scrambled linear scan; :func:`probe_many` runs that
+scan for a whole batch of fingerprints at once with masked NumPy
+gathers — at the table's <=2/3 load factor almost every probe resolves
+within the first couple of rounds, so the loop iterates a handful of
+times over a shrinking pending set instead of once per fingerprint.
+
+Only valid for non-negative fingerprints (negative digests live in the
+index's fallback dicts and never appear in trace replays).  The views
+taken here are transient: any insert can grow/reallocate the columns,
+so results must be consumed before the index is mutated.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dedup.index import _EMPTY, _GOLD
+
+_GOLD_U64 = np.uint64(_GOLD)
+
+
+def probe_many(index, fps: np.ndarray) -> np.ndarray:
+    """Canonical PPN per fingerprint (int64; -1 = absent).
+
+    Bit-identical to ``[index.peek(fp) for fp in fps]`` for
+    non-negative ``fps``, without touching the hit/miss statistics.
+    """
+    n = fps.shape[0]
+    out = np.full(n, -1, dtype=np.int64)
+    if n == 0 or index._used == 0:
+        return out
+    keys = np.frombuffer(index._keys, dtype=np.int64)
+    vals = np.frombuffer(index._vals, dtype=np.int64)
+    mask_u = np.uint64(index._mask)
+    mask_i = index._mask
+    slot = ((fps.astype(np.uint64) * _GOLD_U64) & mask_u).astype(np.int64)
+    pending = np.arange(n)
+    while pending.size:
+        k = keys[slot[pending]]
+        found = k == fps[pending]
+        if found.any():
+            hit = pending[found]
+            out[hit] = vals[slot[hit]]
+        live = ~(found | (k == _EMPTY))
+        pending = pending[live]
+        if pending.size:
+            slot[pending] = (slot[pending] + 1) & mask_i
+    return out

@@ -61,6 +61,28 @@ class LatencyHistogram:
         if latency_us > self.max_us:
             self.max_us = latency_us
 
+    def record_many(self, latencies_us: np.ndarray) -> None:
+        """Fold a batch of samples; exact vs. per-sample :meth:`record`.
+
+        Bucket counts come from one searchsorted + bincount pass, the
+        max from one reduction.  ``sum_us`` is folded with ``cumsum``
+        seeded by the running sum — a strict left-to-right accumulation,
+        so the result is bit-identical to repeated ``+=`` (a pairwise
+        ``arr.sum()`` would not be).
+        """
+        arr = np.ascontiguousarray(latencies_us, dtype=np.float64)
+        if arr.size == 0:
+            return
+        idx = np.searchsorted(self._EDGES, arr, side="left")
+        self.counts += np.bincount(idx, minlength=self.counts.size)
+        self.total += int(arr.size)
+        self.sum_us = float(
+            np.cumsum(np.concatenate(([self.sum_us], arr)))[-1]
+        )
+        m = float(arr.max())
+        if m > self.max_us:
+            self.max_us = m
+
     @classmethod
     def from_samples(cls, samples: Sequence[float]) -> "LatencyHistogram":
         """Bulk-build from an array (one vectorized pass)."""
@@ -151,6 +173,21 @@ class RunTelemetry:
             # Skip ahead past any idle gap instead of emitting a backlog.
             interval = self.snapshot_every_us or math.inf
             self._next_snapshot_us = now_us + interval
+
+    def on_batch(self, latencies_us: np.ndarray, end_us: float, ssd) -> None:
+        """Batched form of :meth:`on_complete` for the vectorized replay.
+
+        The histogram fold is exact (same counts, sum and max as the
+        per-request path); state snapshots clock at the batch boundary
+        — between batches the device state is identical to the event
+        engine's, so a boundary snapshot matches a reference snapshot
+        taken at the same simulated time.
+        """
+        self.hist.record_many(latencies_us)
+        if end_us >= self._next_snapshot_us:
+            self.snapshot(end_us, ssd)
+            interval = self.snapshot_every_us or math.inf
+            self._next_snapshot_us = end_us + interval
 
     def snapshot(self, now_us: float, ssd) -> None:
         """Sample the uniform state series into the device timeline."""

@@ -264,6 +264,7 @@ def diff_kernels(
     scheme: str = "baseline",
     policy: str = "greedy",
     config: Optional[SSDConfig] = None,
+    telemetry: bool = False,
 ) -> Optional[Divergence]:
     """Replay ``trace`` under ``kernel=reference`` and
     ``kernel=vectorized`` and return the first observable difference.
@@ -275,6 +276,11 @@ def diff_kernels(
     simulated time, and the full logical state snapshot.  Structural
     invariants are checked on both devices so a divergence that keeps
     the snapshots equal but corrupts internal bookkeeping still trips.
+
+    With ``telemetry=True`` a ``RunTelemetry`` observer is attached to
+    both replays (the vectorized path folds it per batch) and the
+    resulting latency histograms are diffed too — counts, total, sum
+    and max must match bit-exactly.
     """
     import numpy as np
 
@@ -288,9 +294,16 @@ def diff_kernels(
         config = fuzz_config()
     results = {}
     snapshots = {}
+    observers = {}
     for kernel in ("reference", "vectorized"):
         cfg = _dc_replace(config, kernel=kernel)
-        ssd = SSD(build_scheme(scheme, policy, cfg))
+        observer = None
+        if telemetry:
+            from repro.obs.telemetry import RunTelemetry
+
+            observer = RunTelemetry(snapshot_every_us=500.0)
+        observers[kernel] = observer
+        ssd = SSD(build_scheme(scheme, policy, cfg), telemetry=observer)
         try:
             results[kernel] = ssd.replay(trace)
             check_all(ssd)
@@ -335,4 +348,20 @@ def diff_kernels(
             return Divergence(
                 -1, "state", f"{label}: {ra!r} != {rb!r}", scheme, policy
             )
+    if telemetry:
+        rh = observers["reference"].hist
+        vh = observers["vectorized"].hist
+        if not np.array_equal(rh.counts, vh.counts):
+            return Divergence(
+                -1, "telemetry", "histogram bucket counts differ", scheme, policy
+            )
+        for label, ra, rb in (
+            ("hist total", rh.total, vh.total),
+            ("hist sum_us", rh.sum_us, vh.sum_us),
+            ("hist max_us", rh.max_us, vh.max_us),
+        ):
+            if ra != rb:
+                return Divergence(
+                    -1, "telemetry", f"{label}: {ra!r} != {rb!r}", scheme, policy
+                )
     return None

@@ -98,13 +98,14 @@ def test_hot_loop_within_threshold_of_baseline(guard_module):
     assert rc == 0, "hot loop regressed >25% vs committed BENCH_throughput.json"
 
 
-def test_vectorized_kernel_speedup_at_least_2x():
-    # The kernel/orchestrator split claims >=3x on the bench cases
-    # against the committed reference-path history; this guard pins a
-    # conservative 2x floor measured fresh, reference vs vectorized,
-    # so the speedup cannot silently rot while absolute numbers drift
-    # with the machine.  Cells interleave the two paths and the ratio
-    # uses best-of-cells, so shared-runner load spikes hit both sides.
+def test_vectorized_kernel_speedup_floors():
+    # The kernel/orchestrator split measures ~2.6x (baseline), ~3.2x
+    # (cagc) and ~5.5x (inline-dedupe, via the plan/apply foreground
+    # kernel) against the reference path; these floors leave ~25-30%
+    # headroom for noisy runners so the speedup cannot silently rot
+    # while absolute numbers drift with the machine.  Cells interleave
+    # the two paths and the ratio uses best-of-cells, so shared-runner
+    # load spikes hit both sides.
     import time
 
     from repro.config import small_config
@@ -112,12 +113,13 @@ def test_vectorized_kernel_speedup_at_least_2x():
     from repro.schemes import make_scheme
     from repro.workloads.fiu import build_fiu_trace
 
+    floors = {"baseline": 2.1, "cagc": 2.4, "inline-dedupe": 3.5}
     cfgs = {
         kernel: small_config(blocks=128, pages_per_block=32, kernel=kernel)
         for kernel in ("reference", "vectorized")
     }
     trace = build_fiu_trace("mail", cfgs["reference"], n_requests=5_000)
-    for scheme_name in ("baseline", "cagc"):
+    for scheme_name, floor in floors.items():
         walls = {"reference": [], "vectorized": []}
         for kernel in walls:  # warm-up: numpy/import one-time costs
             run_trace(make_scheme(scheme_name, cfgs[kernel]), trace)
@@ -127,10 +129,47 @@ def test_vectorized_kernel_speedup_at_least_2x():
                 run_trace(make_scheme(scheme_name, cfgs[kernel]), trace)
                 walls[kernel].append(time.perf_counter() - start)
         ratio = min(walls["reference"]) / min(walls["vectorized"])
-        assert ratio >= 2.0, (
+        assert ratio >= floor, (
             f"{scheme_name}: vectorized kernel only {ratio:.2f}x the "
-            f"reference path (floor is 2x)"
+            f"reference path (floor is {floor}x)"
         )
+
+
+def test_telemetry_batching_overhead_within_15pct():
+    # Telemetry-enabled vectorized replays fold per-batch
+    # (LatencyHistogram.record_many + boundary snapshots) instead of
+    # falling back to the reference event loop; the acceptance bar is
+    # that an attached RunTelemetry costs at most 15% over the
+    # untraced vectorized replay.
+    import time
+
+    from repro.config import small_config
+    from repro.device.ssd import SSD
+    from repro.obs.telemetry import RunTelemetry
+    from repro.schemes import make_scheme
+    from repro.workloads.fiu import build_fiu_trace
+
+    cfg = small_config(blocks=128, pages_per_block=32, kernel="vectorized")
+    trace = build_fiu_trace("mail", cfg, n_requests=5_000)
+    walls = {"bare": [], "telemetry": []}
+    for _ in walls:  # warm-up
+        SSD(make_scheme("cagc", cfg)).replay(trace)
+    for _ in range(7):
+        for mode in ("bare", "telemetry"):
+            telemetry = (
+                RunTelemetry(snapshot_every_us=10_000.0)
+                if mode == "telemetry"
+                else None
+            )
+            ssd = SSD(make_scheme("cagc", cfg), telemetry=telemetry)
+            start = time.perf_counter()
+            ssd.replay(trace)
+            walls[mode].append(time.perf_counter() - start)
+    ratio = min(walls["telemetry"]) / min(walls["bare"])
+    assert ratio <= 1.15, (
+        f"telemetry-enabled vectorized replay is {ratio:.2f}x the bare "
+        f"replay (bar is 1.15x)"
+    )
 
 
 def test_disabled_instrumentation_overhead_within_2pct(guard_module):

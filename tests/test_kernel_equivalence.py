@@ -23,7 +23,6 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-import repro.kernel.orchestrator as orchestrator
 from repro.config import small_config
 from repro.device.ssd import SSD
 from repro.kernel import kernel_eligible
@@ -76,13 +75,13 @@ class TestChunkBoundaries:
     fall — including chunks so small every boundary case is hit."""
 
     @pytest.mark.parametrize("chunk", [3, 7, 64])
-    @pytest.mark.parametrize("scheme_name", ["baseline", "cagc"])
-    def test_gc_trigger_mid_chunk(self, monkeypatch, chunk, scheme_name):
-        monkeypatch.setattr(orchestrator, "CHUNK_REQUESTS", chunk)
+    @pytest.mark.parametrize("scheme_name", ["baseline", "cagc", "inline-dedupe"])
+    def test_gc_trigger_mid_chunk(self, chunk, scheme_name):
         # gc-fill floods the tiny fuzz device: triggers land inside,
         # at the start of, and at the end of nearly every chunk.
         trace = fuzz_trace(2, n_requests=240, profile="gc-fill")
-        assert diff_kernels(trace, scheme=scheme_name) is None
+        cfg = fuzz_config(kernel_chunk_requests=chunk)
+        assert diff_kernels(trace, scheme=scheme_name, config=cfg) is None
 
     @settings(max_examples=20, deadline=None)
     @given(
@@ -90,14 +89,137 @@ class TestChunkBoundaries:
         chunk=st.sampled_from([5, 11, 32]),
     )
     def test_profiles_property(self, seed, chunk):
-        orig = orchestrator.CHUNK_REQUESTS
-        orchestrator.CHUNK_REQUESTS = chunk
-        try:
-            profile = PROFILES[seed % len(PROFILES)]
-            trace = fuzz_trace(seed, n_requests=160, profile=profile)
-            assert diff_kernels(trace, scheme="cagc") is None
-        finally:
-            orchestrator.CHUNK_REQUESTS = orig
+        profile = PROFILES[seed % len(PROFILES)]
+        trace = fuzz_trace(seed, n_requests=160, profile=profile)
+        cfg = fuzz_config(kernel_chunk_requests=chunk)
+        assert diff_kernels(trace, scheme="cagc", config=cfg) is None
+
+
+class TestInlineDedupePolicies:
+    """The inline-dedupe plan/apply kernel must be exact under every
+    victim policy — GC boundaries land wherever the policy steers
+    them, so each policy exercises different plan split points."""
+
+    @pytest.mark.parametrize(
+        "policy", ("greedy", "cost-benefit", "random", "region-aware")
+    )
+    def test_digest_identity(self, policy):
+        digests = {}
+        for kernel in ("reference", "vectorized"):
+            cfg = small_config(blocks=64, pages_per_block=16, kernel=kernel)
+            trace = build_fiu_trace("mail", cfg, n_requests=1200)
+            scheme = build_scheme("inline-dedupe", policy, cfg)
+            result = SSD(scheme).replay(trace)
+            digests[kernel] = _trajectory_digest(result, scheme)
+        assert digests["reference"] == digests["vectorized"]
+
+    @pytest.mark.parametrize(
+        "policy", ("greedy", "cost-benefit", "random", "region-aware")
+    )
+    def test_gc_heavy_fuzz(self, policy):
+        trace = fuzz_trace(7, n_requests=300, profile="gc-fill")
+        assert (
+            diff_kernels(trace, scheme="inline-dedupe", policy=policy) is None
+        )
+
+
+class TestTelemetryParity:
+    """Telemetry-enabled vectorized replays stay on the batched path;
+    the histogram fold must be exact and the percentiles identical."""
+
+    @pytest.mark.parametrize(
+        "scheme_name", ("baseline", "cagc", "inline-dedupe")
+    )
+    def test_histogram_exact(self, scheme_name):
+        from repro.obs.telemetry import RunTelemetry
+
+        hists = {}
+        for kernel in ("reference", "vectorized"):
+            cfg = small_config(blocks=64, pages_per_block=16, kernel=kernel)
+            trace = build_fiu_trace("mail", cfg, n_requests=1500)
+            telemetry = RunTelemetry(snapshot_every_us=500.0)
+            ssd = SSD(build_scheme(scheme_name, "greedy", cfg), telemetry=telemetry)
+            ssd.replay(trace)
+            hists[kernel] = telemetry.hist
+            assert telemetry.snapshots > 0
+        ref, vec = hists["reference"], hists["vectorized"]
+        assert np.array_equal(ref.counts, vec.counts)
+        assert ref.total == vec.total
+        assert ref.sum_us == vec.sum_us  # bit-exact (sequential fold)
+        assert ref.max_us == vec.max_us
+        assert ref.mean_us == vec.mean_us
+        for p in (50.0, 99.0):
+            # Identical counts imply identical bucket percentiles; the
+            # <=2% acceptance bound is therefore met with zero error.
+            assert ref.percentile(p) == vec.percentile(p)
+
+    def test_telemetry_keeps_batched_path(self):
+        """An attached RunTelemetry must not force the reference path."""
+        from repro.obs.telemetry import RunTelemetry
+
+        cfg = small_config(blocks=64, pages_per_block=16, kernel="vectorized")
+        trace = build_fiu_trace("mail", cfg, n_requests=10)
+        ssd = SSD(
+            build_scheme("cagc", "greedy", cfg),
+            telemetry=RunTelemetry(),
+        )
+        assert kernel_eligible(ssd, trace)
+
+    def test_record_many_matches_record(self):
+        from repro.obs.telemetry import LatencyHistogram
+
+        rng = np.random.default_rng(11)
+        samples = rng.exponential(37.0, size=5000) + 0.05
+        one = LatencyHistogram()
+        for x in samples.tolist():
+            one.record(x)
+        # Fold in uneven slices to exercise the running-sum seeding.
+        many = LatencyHistogram()
+        for lo, hi in ((0, 1), (1, 17), (17, 17), (17, 4000), (4000, 5000)):
+            many.record_many(samples[lo:hi])
+        assert np.array_equal(one.counts, many.counts)
+        assert one.total == many.total
+        assert one.sum_us == many.sum_us
+        assert one.max_us == many.max_us
+
+
+class TestCagcBatchedCollect:
+    """Chunk/victim-boundary properties of the batched CAGC collection
+    (it only engages above ``BATCH_MIN_PAGES`` valid pages, so these
+    run on a large-block geometry)."""
+
+    def _config(self, **overrides):
+        from repro.config import GeometryConfig
+
+        geometry = GeometryConfig(channels=2, pages_per_block=128, blocks=12)
+        return fuzz_config(geometry=geometry, **overrides)
+
+    def test_batched_path_engages(self):
+        from dataclasses import replace
+
+        cfg = replace(self._config(), kernel="vectorized")
+        scheme = build_scheme("cagc", "greedy", cfg)
+        trace = fuzz_trace(1, config=cfg, n_requests=500, profile="gc-fill")
+        SSD(scheme).replay(trace)
+        assert scheme.kernel_gc_stats["batched"] > 0
+
+    @settings(max_examples=12, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=30),
+        chunk=st.sampled_from([13, 64, 65536]),
+    )
+    def test_gc_fill_property(self, seed, chunk):
+        cfg = self._config(kernel_chunk_requests=chunk)
+        trace = fuzz_trace(seed, config=cfg, n_requests=400, profile="gc-fill")
+        assert diff_kernels(trace, scheme="cagc", config=cfg) is None
+
+    @settings(max_examples=8, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=20))
+    def test_mixed_profile_property(self, seed):
+        profile = PROFILES[seed % len(PROFILES)]
+        cfg = self._config()
+        trace = fuzz_trace(seed, config=cfg, n_requests=400, profile=profile)
+        assert diff_kernels(trace, scheme="cagc", config=cfg) is None
 
 
 class TestFallbackSeams:

@@ -7,7 +7,10 @@ Runs the same workloads as ``benchmarks/bench_simulator_throughput.py``
 operation to ``BENCH_throughput.json`` at the repository root.  The
 committed snapshot is the perf-trajectory baseline that
 ``scripts/check_bench_regression.py`` (and the opt-in ``benchguard``
-pytest marker) compare fresh runs against.
+pytest marker) compare fresh runs against.  Each baseline-writing run
+also appends a one-line summary (schema, git sha, UTC timestamp,
+per-case µs/op medians) to ``BENCH_history.jsonl``, so per-op cost is
+traceable across commits rather than only in the latest snapshot.
 
 Each case runs in its own spawned child interpreter so that
 ``peak_rss_mb`` (the child's ``ru_maxrss`` high-water mark) measures
@@ -74,6 +77,7 @@ REPLAY_REQUESTS = 5_000
 DEFAULT_BLOCKS = 128
 TRACE_GEN_REQUESTS = 20_000
 DEFAULT_OUT = REPO_ROOT / "BENCH_throughput.json"
+HISTORY_OUT = REPO_ROOT / "BENCH_history.jsonl"
 
 
 def _rounds_for(factor: int, rounds: int) -> int:
@@ -259,6 +263,46 @@ def take_snapshot(
     return doc
 
 
+def _git_sha() -> Optional[str]:
+    try:
+        proc = subprocess.run(
+            ["git", "-C", str(REPO_ROOT), "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except Exception:
+        return None
+    return proc.stdout.strip() or None if proc.returncode == 0 else None
+
+
+def append_history(snapshot: dict, path: Path = HISTORY_OUT) -> dict:
+    """Append one compact perf-trajectory row to ``BENCH_history.jsonl``.
+
+    The snapshot file is overwritten per run; the history file is
+    append-only, one JSON object per line, so perf drift stays
+    inspectable across commits (``schema``, the git sha the numbers
+    were taken at, a UTC timestamp, and the per-case µs/op medians).
+    """
+    row = {
+        "schema": snapshot.get("schema", SNAPSHOT_SCHEMA),
+        "git_sha": _git_sha(),
+        "taken_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "python": snapshot.get("python"),
+        "cases": {
+            name: round(case["median_us_per_op"], 3)
+            for name, case in snapshot.get("replay", {}).items()
+        },
+    }
+    if "trace_generation" in snapshot:
+        row["cases"][TRACE_GEN_CASE] = round(
+            snapshot["trace_generation"]["median_us_per_op"], 3
+        )
+    with path.open("a") as fp:
+        fp.write(json.dumps(row, sort_keys=True) + "\n")
+    return row
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--rounds", type=int, default=5, help="timing rounds per case")
@@ -318,6 +362,8 @@ def main(argv=None) -> int:
                 case["peak_rss_mb"],
             )
         log.info("wrote %s", args.out)
+        append_history(snapshot)
+        log.info("appended %s", HISTORY_OUT)
     return 0
 
 
