@@ -145,6 +145,34 @@ def _merge_best(into: dict, fresh: dict) -> dict:
     return into
 
 
+def timing_noise_floor(
+    rounds: int = 5, cases: Sequence[str] = ("baseline",)
+) -> float:
+    """Smallest relative slowdown a timing gate can resolve right now.
+
+    Takes two back-to-back snapshots of the same (cheap) cases and
+    returns the worst relative disagreement between their
+    best-of-rounds timings.  Identical code on an idle machine lands
+    well under 1%; CPU steal, thermal throttling or a busy co-tenant
+    push it past that.  A gate with a threshold below this floor cannot
+    distinguish a regression from scheduler weather — callers with
+    tight bars (the 2% disabled-instrumentation guard) should measure
+    the floor first and decline to gate when it exceeds their
+    threshold, rather than fail on noise.
+    """
+    first = take_snapshot(rounds=rounds, cases=list(cases))
+    second = take_snapshot(rounds=rounds, cases=list(cases))
+    worst = 0.0
+    for name, case in first["replay"].items():
+        other = second["replay"].get(name)
+        if other is None:
+            continue
+        a = _fresh_best_us_per_op(case)
+        b = _fresh_best_us_per_op(other)
+        worst = max(worst, abs(a - b) / min(a, b))
+    return worst
+
+
 def run_check(
     baseline_path: Path = DEFAULT_BASELINE,
     threshold: float = DEFAULT_THRESHOLD,

@@ -31,13 +31,17 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
+from repro.array import COORDINATIONS  # noqa: E402
 from repro.oracle import (  # noqa: E402
     ALL_POLICIES,
     ALL_SCHEMES,
+    ARRAY_DEVICE_COUNTS,
+    diff_array,
     diff_kernels,
     diff_trace,
     fuzz_config,
     fuzz_trace,
+    make_array_divergence_predicate,
     make_divergence_predicate,
     shrink_trace,
 )
@@ -76,6 +80,13 @@ def main(argv=None) -> int:
         "folded latency histograms too (kernel-equivalence mode only)",
     )
     parser.add_argument(
+        "--array",
+        action="store_true",
+        help="sweep the N-device array against per-device oracles instead: "
+        "multi-tenant 'array'-profile traces, device count rotating over "
+        f"{ARRAY_DEVICE_COUNTS}, every GC coordination policy",
+    )
+    parser.add_argument(
         "--shrink",
         action="store_true",
         help="delta-debug each diverging trace and save it under tests/regress/",
@@ -89,6 +100,61 @@ def main(argv=None) -> int:
     runs = 0
     failures = 0
     for seed in range(args.seeds):
+        if args.array:
+            trace = fuzz_trace(
+                seed, config, n_requests=args.requests, profile="array"
+            )
+            devices = ARRAY_DEVICE_COUNTS[seed % len(ARRAY_DEVICE_COUNTS)]
+            log.debug(
+                "seed %d (array, %d devices): %d requests",
+                seed,
+                devices,
+                len(trace),
+            )
+            for scheme in args.schemes:
+                for policy in args.policies:
+                    for coordination in COORDINATIONS:
+                        runs += 1
+                        divergence = diff_array(
+                            trace,
+                            devices=devices,
+                            scheme=scheme,
+                            policy=policy,
+                            config=config,
+                            coordination=coordination,
+                        )
+                        if divergence is None:
+                            continue
+                        failures += 1
+                        log.error(
+                            "seed %d (array, %d devices): %s",
+                            seed,
+                            devices,
+                            divergence,
+                        )
+                        if args.shrink:
+                            predicate = make_array_divergence_predicate(
+                                devices=devices,
+                                scheme=scheme,
+                                policy=policy,
+                                config=config,
+                                coordination=coordination,
+                            )
+                            name = (
+                                f"array-s{seed}-d{devices}-{scheme}-"
+                                f"{policy}-{coordination}"
+                            )
+                            minimal = shrink_trace(trace, predicate, name=name)
+                            path = save_regression(
+                                minimal, args.regress_dir, name
+                            )
+                            log.error(
+                                "  shrunk %d -> %d requests: %s",
+                                len(trace),
+                                len(minimal),
+                                path,
+                            )
+            continue
         trace = fuzz_trace(seed, config, n_requests=args.requests)
         log.debug("seed %d (%s): %d requests", seed, profile_for_seed(seed), len(trace))
         for scheme in args.schemes:
@@ -141,6 +207,8 @@ def main(argv=None) -> int:
                     )
     wall = time.time() - start
     combos = len(args.schemes) * len(args.policies)
+    if args.array:
+        combos *= len(COORDINATIONS)
     log.info(
         "oracle sweep: %d seeds x %d scheme/policy combos = "
         "%d differential runs, %d divergences (%.1fs)",

@@ -27,6 +27,7 @@ Experiments (one per paper table/figure)::
     report = run_experiment("fig9")
 """
 
+from repro.array import ArrayResult, SSDArray
 from repro.config import (
     GeometryConfig,
     SSDConfig,
@@ -46,11 +47,13 @@ from repro.workloads import (
     FIU_PRESETS,
     FileModelTrace,
     IORequest,
+    MultiplexedTrace,
     OpKind,
     Trace,
     TraceSpec,
     build_fiu_trace,
     generate_trace,
+    multiplex_traces,
 )
 
 __version__ = "1.0.0"
@@ -66,6 +69,8 @@ __all__ = [
     "GCPipeline",
     "PlacementPolicy",
     "SSD",
+    "SSDArray",
+    "ArrayResult",
     "ParallelSSD",
     "RunResult",
     "run_trace",
@@ -81,5 +86,7 @@ __all__ = [
     "TraceSpec",
     "build_fiu_trace",
     "generate_trace",
+    "MultiplexedTrace",
+    "multiplex_traces",
     "__version__",
 ]

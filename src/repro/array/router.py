@@ -1,0 +1,122 @@
+"""Deterministic LPN-range router for the SSD array.
+
+Device ``i`` owns the contiguous global range
+``[i * pages_per_device, (i + 1) * pages_per_device)``.  Routing is a
+pure function of the LPN — no state, no request history — which is the
+property the array's equivalence proofs (and the Hypothesis suite)
+lean on: splitting a merged stream per device and replaying the pieces
+independently is exactly the same computation as routing request by
+request.
+
+Requests must not straddle a device boundary; the workload multiplexer
+guarantees that by construction (tenant windows never cross devices)
+and :meth:`RangeRouter.split` verifies it for arbitrary traces.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.workloads.trace import Trace
+
+
+class RoutingError(ValueError):
+    """A request extent crosses a device boundary (or leaves the array)."""
+
+
+class RangeRouter:
+    """Pure LPN -> (device, local LPN) map over contiguous ranges."""
+
+    def __init__(self, devices: int, pages_per_device: int) -> None:
+        if devices < 1:
+            raise ValueError(f"devices must be >= 1, got {devices}")
+        if pages_per_device < 1:
+            raise ValueError(
+                f"pages_per_device must be >= 1, got {pages_per_device}"
+            )
+        self.devices = devices
+        self.pages_per_device = pages_per_device
+
+    def device_of(self, lpn: int) -> int:
+        """Home device of ``lpn`` (pure, total on the exported space)."""
+        if not 0 <= lpn < self.devices * self.pages_per_device:
+            raise RoutingError(
+                f"LPN {lpn} outside array space "
+                f"[0, {self.devices * self.pages_per_device})"
+            )
+        return lpn // self.pages_per_device
+
+    def route(self, lpn: int, npages: int = 1) -> Tuple[int, int]:
+        """``(device, local_lpn)`` for one extent; rejects boundary crossers."""
+        device = self.device_of(lpn)
+        if npages > 1 and self.device_of(lpn + npages - 1) != device:
+            raise RoutingError(
+                f"extent ({lpn}, {npages}) straddles devices "
+                f"{device} and {self.device_of(lpn + npages - 1)}"
+            )
+        return device, lpn - device * self.pages_per_device
+
+    def split(self, trace: Trace) -> List[Tuple[Trace, np.ndarray]]:
+        """Partition ``trace`` into per-device sub-traces (local LPNs).
+
+        Returns one ``(sub_trace, tenant_ids)`` pair per device, each
+        preserving the merged stream's relative order.  ``tenant_ids``
+        comes from a :class:`~repro.workloads.multiplex.MultiplexedTrace`
+        column when present, else all zeros (single implicit tenant).
+        The check that no extent crosses a device boundary is
+        vectorized over the whole trace.
+        """
+        lpns = trace.lpns
+        npages = np.maximum(trace.npages, 1).astype(np.int64)
+        size = self.pages_per_device
+        first = lpns // size
+        last = (lpns + npages - 1) // size
+        if len(trace):
+            if int(lpns.min()) < 0 or int(last.max()) >= self.devices:
+                bad = int(np.argmax((lpns < 0) | (last >= self.devices)))
+                raise RoutingError(
+                    f"request {bad} extent ({int(lpns[bad])}, "
+                    f"{int(npages[bad])}) outside array space"
+                )
+            if not np.array_equal(first, last):
+                bad = int(np.argmax(first != last))
+                raise RoutingError(
+                    f"request {bad} extent ({int(lpns[bad])}, "
+                    f"{int(npages[bad])}) straddles a device boundary"
+                )
+        tenants = getattr(trace, "tenant_ids", None)
+        if tenants is None:
+            tenants = np.zeros(len(trace), dtype=np.int32)
+        out: List[Tuple[Trace, np.ndarray]] = []
+        for device in range(self.devices):
+            mask = first == device
+            idx = np.nonzero(mask)[0]
+            counts = trace.fp_offsets[1:] - trace.fp_offsets[:-1]
+            sub_counts = counts[idx]
+            sub_offsets = np.zeros(len(idx) + 1, dtype=np.int64)
+            np.cumsum(sub_counts, out=sub_offsets[1:])
+            total = int(sub_offsets[-1])
+            if total:
+                starts = np.repeat(trace.fp_offsets[:-1][idx], sub_counts)
+                within = np.arange(total, dtype=np.int64) - np.repeat(
+                    sub_offsets[:-1], sub_counts
+                )
+                sub_fps = trace.fps_flat[starts + within]
+            else:
+                sub_fps = np.empty(0, dtype=np.int64)
+            sub = Trace(
+                trace.times_us[idx],
+                trace.ops[idx],
+                lpns[idx] - device * size,
+                trace.npages[idx],
+                sub_fps,
+                sub_offsets,
+                name=f"{trace.name}@dev{device}",
+            )
+            out.append((sub, tenants[idx]))
+        return out
+
+
+__all__ = ["RangeRouter", "RoutingError"]

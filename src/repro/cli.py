@@ -71,6 +71,39 @@ def _add_parallel_args(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_array_args(parser: argparse.ArgumentParser) -> None:
+    """``--array-devices`` / ``--tenants`` / ``--gc-coord`` / ``--ncq-depth``."""
+    parser.add_argument(
+        "--array-devices",
+        type=int,
+        default=0,
+        metavar="N",
+        help="replay on an N-device SSD array instead of one device "
+        "(default: 0, single device)",
+    )
+    parser.add_argument(
+        "--tenants",
+        type=int,
+        default=1,
+        metavar="T",
+        help="tenant streams multiplexed across the array (with "
+        "--array-devices; default: 1)",
+    )
+    parser.add_argument(
+        "--gc-coord",
+        default="independent",
+        choices=("independent", "staggered", "global-token"),
+        help="array GC coordination policy (default: independent)",
+    )
+    parser.add_argument(
+        "--ncq-depth",
+        type=int,
+        default=32,
+        metavar="D",
+        help="per-device NCQ admission window (default: 32)",
+    )
+
+
 def _add_obs_args(parser: argparse.ArgumentParser) -> None:
     """``--trace`` / ``--trace-format`` / ``--heartbeat`` (repro.obs)."""
     parser.add_argument(
@@ -282,6 +315,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "--write-buffer", type=int, default=0, metavar="PAGES",
         help="DRAM write-back buffer size in pages (serial device only)",
     )
+    _add_array_args(sim_p)
     _add_obs_args(sim_p)
 
     cmp_p = sub.add_parser(
@@ -317,6 +351,7 @@ def _build_parser() -> argparse.ArgumentParser:
     rep_p.add_argument(
         "--out", default=None, metavar="FILE", help="also write the report as JSON"
     )
+    _add_array_args(rep_p)
     _add_parallel_args(rep_p)
 
     for sub_parser in sub.choices.values():
@@ -588,6 +623,101 @@ def _cmd_trace_info(args: argparse.Namespace) -> int:
     return 0
 
 
+def _array_report_rows(result) -> List[tuple]:
+    """``(metric, value)`` rows for an :class:`ArrayResult` table: the
+    array-wide view first, then the per-tenant SLO rows the serving
+    tier is judged on."""
+    telemetry = result.telemetry
+    erased = sum(r.blocks_erased for r in result.devices)
+    migrated = sum(r.pages_migrated for r in result.devices)
+    rows = [
+        ("devices x tenants", f"{len(result)} x {result.tenants}"),
+        ("gc coordination", result.coordination),
+        ("requests", telemetry.hist.total),
+        ("mean response", f"{telemetry.hist.mean_us:.1f}us"),
+        (
+            "ncq depth (peak/held)",
+            f"{result.ncq_depth} "
+            f"({max(result.ncq_peaks)}/{sum(result.ncq_held)})",
+        ),
+        ("blocks erased", erased),
+        ("pages migrated", migrated),
+        ("simulated time", f"{result.simulated_us / 1e6:.2f}s"),
+    ]
+    for key in ("gc_deferrals", "idle_bursts", "token_grants", "windows_fired"):
+        if key in result.coord_stats:
+            rows.append((key.replace("_", " "), result.coord_stats[key]))
+    rows.extend(telemetry.slo_rows())
+    for device, hist in enumerate(telemetry.device_hists):
+        if hist.total:
+            rows.append(
+                (
+                    f"device {device} p99 / p999",
+                    f"{hist.percentile(99.0):.0f} / "
+                    f"{hist.percentile(99.9):.0f}us",
+                )
+            )
+    return rows
+
+
+def _simulate_array(args, config) -> int:
+    """``simulate --array-devices N``: multi-tenant array replay."""
+    from repro.array import SSDArray
+    from repro.workloads.multiplex import multiplex_traces
+
+    if args.replay is not None:
+        log.error("error: --array-devices does not support --replay")
+        return 2
+    if args.device == "parallel":
+        log.error("error: --array-devices requires --device serial")
+        return 2
+    slots = (args.tenants + args.array_devices - 1) // args.array_devices
+    tenant_traces = [
+        build_fiu_trace(
+            args.preset,
+            config,
+            n_requests=0,
+            fill_factor=args.fill_factor / slots,
+            lpn_utilization=0.84 / slots,
+            seed=10_000 + t,
+        )
+        for t in range(args.tenants)
+    ]
+    merged = multiplex_traces(
+        tenant_traces,
+        args.array_devices,
+        config.logical_pages,
+        name=f"{args.preset}x{args.tenants}",
+    )
+    schemes = [
+        make_scheme(args.scheme, config, policy=make_policy(args.policy))
+        for _ in range(args.array_devices)
+    ]
+    tracer, _, heartbeat = _make_observers(args)
+    array = SSDArray(
+        schemes,
+        coordination=args.gc_coord,
+        ncq_depth=args.ncq_depth,
+        tracer=tracer,
+        heartbeat=heartbeat,
+    )
+    start = time.time()
+    result = array.replay(merged)
+    wall = time.time() - start
+    if tracer is not None:
+        _write_trace(tracer, None, args)
+    rows = _array_report_rows(result)
+    rows.append(("wall time", f"{wall:.2f}s"))
+    print(
+        format_table(
+            ("Metric", "Value"),
+            rows,
+            title=f"array {args.scheme} / {merged.name} / {args.gc_coord}",
+        )
+    )
+    return 0
+
+
 def _cmd_simulate(args: argparse.Namespace) -> int:
     geometry = GeometryConfig(
         blocks=args.blocks,
@@ -602,6 +732,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         **({"kernel": args.kernel} if args.kernel is not None else {}),
     )
     config.validate()
+    if args.array_devices:
+        return _simulate_array(args, config)
     if args.replay is not None:
         trace = _load_trace(
             args.replay, None, stream=args.stream, chunk_size=args.chunk_size
@@ -707,12 +839,19 @@ def _cmd_report(args: argparse.Namespace) -> int:
         seed=args.seed,
         scale=args.scale,
         device=args.device,
+        array_devices=args.array_devices,
+        tenants=args.tenants,
+        gc_coord=args.gc_coord,
+        ncq_depth=args.ncq_depth,
     )
     cache = RunCache.from_env() if cache_enabled() else None
     start = time.time()
     result = run_specs([spec], jobs=args.jobs, cache=cache)[0]
     wall = time.time() - start
-    rows = RunTelemetry.summary_rows(result)
+    if args.array_devices:
+        rows = _array_report_rows(result)
+    else:
+        rows = RunTelemetry.summary_rows(result)
     print(format_table(("Metric", "Value"), rows, title=spec.label()))
     hits = cache.hits if cache is not None else 0
     log.info("(%.1fs, %s)", wall, "cached" if hits else "fresh run")

@@ -13,6 +13,7 @@ from typing import Callable, Dict, Iterable, List, Sequence
 
 from repro.experiments import (
     ablations,
+    array_tail,
     stability,
     fig2_inline_overhead,
     fig6_refcount_invalid,
@@ -51,6 +52,7 @@ EXPERIMENTS: Dict[str, Callable[[str], ExperimentReport]] = {
     "ablation-hot-victims": ablations.run_hot_victims,
     "ablation-channels": ablations.run_channels,
     "stability": stability.run,
+    "array-tail": array_tail.run,
 }
 
 
@@ -83,6 +85,7 @@ _SPEC_BUILDERS: Dict[str, Callable[[str], Sequence[RunSpec]]] = {
     "ablation-write-buffer": ablations.write_buffer_specs,
     "ablation-hot-victims": ablations.hot_victims_specs,
     "ablation-channels": ablations.channels_specs,
+    "array-tail": array_tail.array_tail_specs,
 }
 
 

@@ -51,6 +51,11 @@ TRACK_GC_WRITE = "gc.write"
 #: ``fallback-rate`` counters, emitted by ``repro.kernel`` instead of
 #: per-request ``io`` spans when the vectorized kernel is active.
 TRACK_KERNEL = "kernel"
+#: Array-level coordination events (``repro.array``): GC deferral
+#: instants, token grants, stagger-window rotations, NCQ admission
+#: stalls — everything that happens *between* devices rather than
+#: inside one.
+TRACK_ARRAY = "array"
 
 
 def hash_lane_track(lane: int) -> str:

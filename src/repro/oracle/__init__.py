@@ -11,6 +11,10 @@ trajectory comparisons; this package makes that machinery reusable:
   scheme x policy x config combination and report the first divergence;
 * :mod:`repro.oracle.fuzz` — seeded adversarial workload generator
   (duplicate-heavy, overwrite storms, GC-pressure fills, trim churn);
+* :mod:`repro.oracle.arraydiff` — the array harness: replay a
+  multi-tenant trace through an N-device :class:`repro.array.SSDArray`
+  (NCQ admission, GC coordination) and diff every device's end state
+  against its own oracle over the router's pure split;
 * :mod:`repro.oracle.shrink` — delta-debugging shrinker that reduces a
   diverging trace to a minimal reproducing regression case;
 * :mod:`repro.oracle.invariants` — :func:`check_all`, the single
@@ -27,6 +31,12 @@ from repro.oracle.diff import (
     diff_kernels,
     diff_trace,
 )
+from repro.oracle.arraydiff import (
+    ARRAY_DEVICE_COUNTS,
+    array_pages_per_device,
+    diff_array,
+    make_array_divergence_predicate,
+)
 from repro.oracle.fuzz import PROFILES, fuzz_config, fuzz_trace
 from repro.oracle.invariants import check_all
 from repro.oracle.shrink import ddmin, make_divergence_predicate, shrink_trace
@@ -41,6 +51,10 @@ __all__ = [
     "compare_snapshots",
     "diff_kernels",
     "diff_trace",
+    "ARRAY_DEVICE_COUNTS",
+    "array_pages_per_device",
+    "diff_array",
+    "make_array_divergence_predicate",
     "PROFILES",
     "fuzz_config",
     "fuzz_trace",

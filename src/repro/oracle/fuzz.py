@@ -23,6 +23,11 @@ touch:
   ``kernel=vectorized`` vs ``kernel=reference`` diff
   (:func:`repro.oracle.diff.diff_kernels`) but a legitimate adversarial
   workload for the naive-model oracle too.
+* ``array`` — four disjoint LPN quarters interleaved at random, the
+  multi-tenant access shape the array router splits across devices.
+  Aimed at the per-device array diff
+  (:func:`repro.oracle.arraydiff.diff_array`) but, the quarters being
+  ordinary LPN ranges, an equally legitimate single-device workload.
 
 Generation is deterministic per ``(seed, profile, config geometry)``
 and device-safe by construction: the addressed LPN span is capped well
@@ -46,7 +51,12 @@ PROFILES = (
     "mixed",
     "trim-churn",
     "kernel-equivalence",
+    "array",
 )
+
+#: tenant quarters the ``array`` profile interleaves (and the array
+#: oracle sweep splits across 1/2/4 devices).
+ARRAY_TENANTS = 4
 
 #: Unique content ids start here (clear of every pool id).
 _UNIQUE_FP_BASE = 1 << 40
@@ -211,6 +221,25 @@ def _gen_kernel_equivalence(rng, b: _RowBuilder, span: int, n: int) -> None:
             b.trim(*_extent(rng, span, 4))
 
 
+def _gen_array(rng, b: _RowBuilder, span: int, n: int) -> None:
+    # Each "tenant" owns one quarter of the span; requests hop between
+    # tenants at random but never cross a quarter edge — exactly the
+    # boundary structure the range router preserves, with enough
+    # overwrite churn inside every quarter that all array devices GC.
+    quarter = max(span // ARRAY_TENANTS, 1)
+    while len(b.rows) < n:
+        tenant = int(rng.integers(0, ARRAY_TENANTS))
+        lpn, npages = _extent(rng, quarter, 4)
+        lpn += tenant * quarter
+        roll = rng.random()
+        if roll < 0.60:
+            b.write(lpn, _fps(rng, b, npages, pool=16, dup_prob=0.5))
+        elif roll < 0.85:
+            b.read(lpn, npages)
+        else:
+            b.trim(lpn, npages)
+
+
 _GENERATORS = {
     "duplicate-heavy": _gen_duplicate_heavy,
     "overwrite-storm": _gen_overwrite_storm,
@@ -218,6 +247,7 @@ _GENERATORS = {
     "mixed": _gen_mixed,
     "trim-churn": _gen_trim_churn,
     "kernel-equivalence": _gen_kernel_equivalence,
+    "array": _gen_array,
 }
 
 

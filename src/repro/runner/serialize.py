@@ -30,17 +30,16 @@ from repro.ftl.wear import WearStats
 
 #: Bump on any incompatible change to the stored result layout.
 #: v2: GCCounters gained per-phase busy-time fields (gc_read_us, ...).
-SCHEMA_VERSION = 2
+#: v3: array results (kind="array": per-device results + SLO histograms).
+SCHEMA_VERSION = 3
 
 
 class SchemaMismatchError(RuntimeError):
     """A stored result was written under a different schema version."""
 
 
-def result_to_bytes(result) -> bytes:
-    """Serialize a ``RunResult`` to compressed ``.npz`` bytes."""
-    meta = {
-        "schema": SCHEMA_VERSION,
+def _run_result_meta(result) -> dict:
+    return {
         "scheme": result.scheme,
         "trace": result.trace,
         "latency": result.latency.as_dict(),
@@ -55,26 +54,11 @@ def result_to_bytes(result) -> bytes:
         "simulated_us": result.simulated_us,
         "buffer": vars(result.buffer).copy() if result.buffer is not None else None,
     }
-    buf = io.BytesIO()
-    np.savez_compressed(
-        buf,
-        response_times_us=np.ascontiguousarray(result.response_times_us),
-        meta=np.frombuffer(json.dumps(meta).encode("utf-8"), dtype=np.uint8),
-    )
-    return buf.getvalue()
 
 
-def result_from_bytes(payload: bytes):
-    """Reconstruct a ``RunResult`` from :func:`result_to_bytes` output."""
+def _run_result_from(meta: dict, samples: np.ndarray):
     from repro.device.ssd import RunResult  # circular at import time
 
-    with np.load(io.BytesIO(payload)) as archive:
-        meta = json.loads(archive["meta"].tobytes().decode("utf-8"))
-        samples = archive["response_times_us"].copy()
-    if meta.get("schema") != SCHEMA_VERSION:
-        raise SchemaMismatchError(
-            f"stored schema {meta.get('schema')!r} != current {SCHEMA_VERSION}"
-        )
     buffer: Optional[WriteBufferStats] = None
     if meta["buffer"] is not None:
         buffer = WriteBufferStats(**meta["buffer"])
@@ -88,4 +72,101 @@ def result_from_bytes(payload: bytes):
         wear=WearStats(**meta["wear"]),
         simulated_us=meta["simulated_us"],
         buffer=buffer,
+    )
+
+
+def result_to_bytes(result) -> bytes:
+    """Serialize a ``RunResult`` or ``ArrayResult`` to ``.npz`` bytes."""
+    from repro.array.device import ArrayResult
+
+    if isinstance(result, ArrayResult):
+        return _array_result_to_bytes(result)
+    meta = {"schema": SCHEMA_VERSION, "kind": "run", **_run_result_meta(result)}
+    buf = io.BytesIO()
+    np.savez_compressed(
+        buf,
+        response_times_us=np.ascontiguousarray(result.response_times_us),
+        meta=np.frombuffer(json.dumps(meta).encode("utf-8"), dtype=np.uint8),
+    )
+    return buf.getvalue()
+
+
+def _array_result_to_bytes(result) -> bytes:
+    meta = {
+        "schema": SCHEMA_VERSION,
+        "kind": "array",
+        "coordination": result.coordination,
+        "trace": result.trace,
+        "tenants": result.tenants,
+        "simulated_us": result.simulated_us,
+        "ncq_depth": result.ncq_depth,
+        "ncq_peaks": list(result.ncq_peaks),
+        "ncq_held": list(result.ncq_held),
+        "coord_stats": result.coord_stats,
+        "kernel_fallback_reason": result.kernel_fallback_reason,
+        "devices": [_run_result_meta(r) for r in result.devices],
+    }
+    arrays = {
+        f"device_{i}_response_times_us": np.ascontiguousarray(
+            r.response_times_us
+        )
+        for i, r in enumerate(result.devices)
+    }
+    for family, packed in result.telemetry.to_arrays().items():
+        for field, values in packed.items():
+            arrays[f"tele_{family}_{field}"] = np.ascontiguousarray(values)
+    buf = io.BytesIO()
+    np.savez_compressed(
+        buf,
+        meta=np.frombuffer(json.dumps(meta).encode("utf-8"), dtype=np.uint8),
+        **arrays,
+    )
+    return buf.getvalue()
+
+
+def result_from_bytes(payload: bytes):
+    """Reconstruct a result from :func:`result_to_bytes` output."""
+    with np.load(io.BytesIO(payload)) as archive:
+        meta = json.loads(archive["meta"].tobytes().decode("utf-8"))
+        if meta.get("schema") != SCHEMA_VERSION:
+            raise SchemaMismatchError(
+                f"stored schema {meta.get('schema')!r} != current {SCHEMA_VERSION}"
+            )
+        if meta.get("kind", "run") == "array":
+            return _array_result_from_archive(meta, archive)
+        samples = archive["response_times_us"].copy()
+    return _run_result_from(meta, samples)
+
+
+def _array_result_from_archive(meta: dict, archive):
+    from repro.array.device import ArrayResult
+    from repro.array.telemetry import ArrayTelemetry
+
+    devices = tuple(
+        _run_result_from(
+            device_meta, archive[f"device_{i}_response_times_us"].copy()
+        )
+        for i, device_meta in enumerate(meta["devices"])
+    )
+    telemetry = ArrayTelemetry.from_arrays(
+        {
+            family: {
+                field: archive[f"tele_{family}_{field}"]
+                for field in ("counts", "total", "sum_us", "max_us")
+            }
+            for family in ("global", "device", "tenant")
+        }
+    )
+    return ArrayResult(
+        coordination=meta["coordination"],
+        trace=meta["trace"],
+        devices=devices,
+        tenants=meta["tenants"],
+        telemetry=telemetry,
+        simulated_us=meta["simulated_us"],
+        ncq_depth=meta["ncq_depth"],
+        ncq_peaks=tuple(meta["ncq_peaks"]),
+        ncq_held=tuple(meta["ncq_held"]),
+        coord_stats=meta["coord_stats"],
+        kernel_fallback_reason=meta["kernel_fallback_reason"],
     )

@@ -67,6 +67,16 @@ class RunSpec:
     scheme_options: Overrides = ()
     #: controller: "single" (FlashSim-style queue) or "parallel".
     device: str = "single"
+    #: 0 = one bare device (the historical path).  N >= 1 replays the
+    #: workload on an N-device :class:`repro.array.SSDArray` instead,
+    #: with ``tenants`` per-tenant traces multiplexed across it.
+    array_devices: int = 0
+    #: tenant streams multiplexed onto the array (array runs only).
+    tenants: int = 1
+    #: array GC coordination: independent | staggered | global-token.
+    gc_coord: str = "independent"
+    #: per-device NCQ admission window (array runs only).
+    ncq_depth: int = 32
 
     def __post_init__(self) -> None:
         # Canonicalize: same overrides in any order -> equal spec, equal
@@ -97,6 +107,10 @@ class RunSpec:
                 extras.append(f"{tag}:" + ",".join(f"{k}={v}" for k, v in pairs))
         if self.device != "single":
             extras.append(f"dev:{self.device}")
+        if self.array_devices:
+            extras.append(
+                f"array:{self.array_devices}x{self.tenants}t/{self.gc_coord}"
+            )
         return base + (f" [{'; '.join(extras)}]" if extras else "")
 
     # ------------------------------------------------------------ execution
@@ -171,6 +185,11 @@ class RunSpec:
 
         sc = get_scale(self.scale)
         config = self._build_config(sc)
+        if self.array_devices:
+            return self._execute_array(
+                sc, config, tracer=tracer, heartbeat=heartbeat,
+                keep_samples=keep_samples,
+            )
         trace = sc.trace(
             self.workload,
             config,
@@ -192,6 +211,53 @@ class RunSpec:
             heartbeat=heartbeat,
             keep_samples=keep_samples,
         )
+
+    def _execute_array(self, sc, config, tracer, heartbeat, keep_samples):
+        """Array branch of :meth:`execute`: returns an ``ArrayResult``.
+
+        Each tenant draws an independent trace of the same workload
+        preset, scaled down by the number of tenant slots per device so
+        every *device* sees the same LPN utilization and write pressure
+        as a single-device run of this spec — coordination policies are
+        then compared under identical per-device GC stress.
+        """
+        from repro.array import SSDArray
+        from repro.workloads.multiplex import multiplex_traces
+
+        if self.device != "single":
+            raise ValueError(
+                f"array runs require device='single', got {self.device!r}"
+            )
+        slots = (self.tenants + self.array_devices - 1) // self.array_devices
+        overrides = dict(self.trace_overrides)
+        utilization = overrides.pop("lpn_utilization", sc.lpn_utilization)
+        fill_factor = overrides.pop("fill_factor", sc.fill_factor)
+        tenant_traces = [
+            sc.trace(
+                self.workload,
+                config,
+                seed=10_000 + 997 * self.seed + t,
+                lpn_utilization=utilization / slots,
+                fill_factor=fill_factor / slots,
+                **overrides,
+            )
+            for t in range(self.tenants)
+        ]
+        merged = multiplex_traces(
+            tenant_traces,
+            self.array_devices,
+            config.logical_pages,
+            name=f"{self.workload}x{self.tenants}",
+        )
+        ftls = [self._build_scheme(config) for _ in range(self.array_devices)]
+        return SSDArray(
+            ftls,
+            coordination=self.gc_coord,
+            ncq_depth=self.ncq_depth,
+            tracer=tracer,
+            heartbeat=heartbeat,
+            keep_samples=keep_samples,
+        ).replay(merged)
 
 
 def sweep_specs(

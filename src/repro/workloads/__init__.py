@@ -12,6 +12,13 @@ from repro.workloads.fiu import (
     build_fiu_trace,
 )
 from repro.workloads.filemodel import FileStore, FileModelTrace
+from repro.workloads.multiplex import (
+    MultiplexedTrace,
+    TenantPlacement,
+    demultiplex_lpns,
+    multiplex_traces,
+    tenant_layout,
+)
 
 __all__ = [
     "IORequest",
@@ -28,4 +35,9 @@ __all__ = [
     "build_fiu_trace",
     "FileStore",
     "FileModelTrace",
+    "MultiplexedTrace",
+    "TenantPlacement",
+    "demultiplex_lpns",
+    "multiplex_traces",
+    "tenant_layout",
 ]

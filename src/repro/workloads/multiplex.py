@@ -1,0 +1,203 @@
+"""Multi-tenant workload multiplexer for the SSD-array serving tier.
+
+Each tenant brings an ordinary single-device :class:`Trace` addressed
+to its own private LPN space starting at zero.  The multiplexer places
+every tenant into a disjoint window of the array's global LPN space and
+merges the per-tenant request streams into one arrival-ordered stream:
+
+* **placement** — tenant ``t`` lives on home device ``t % devices`` at
+  slot ``t // devices``; its window is ``slot * span`` pages into that
+  device's range, where ``span = pages_per_device // slots_per_device``.
+  A tenant's window never straddles a device boundary, which is what
+  keeps array routing a pure per-LPN function (no extent splitting).
+* **merge** — requests are stable-sorted by ``(time_us, tenant, seq)``
+  where ``seq`` is the request's index within its tenant's trace.  The
+  ordering is a pure function of the inputs: re-multiplexing the same
+  traces always yields the identical merged stream, regardless of dict
+  ordering or iteration incidentals.
+
+The result is a :class:`MultiplexedTrace` — a drop-in :class:`Trace`
+(global LPNs, merged clock) that additionally carries the per-request
+``tenant_ids`` column and the :class:`TenantPlacement` table, which the
+array's telemetry uses for per-tenant SLO attribution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.workloads.trace import Trace
+
+
+@dataclass(frozen=True)
+class TenantPlacement:
+    """Where one tenant's LPN window lives in the array's global space."""
+
+    tenant: int
+    device: int
+    #: first global LPN of the tenant's window.
+    base_lpn: int
+    #: window size in pages; every request of the tenant must fit in
+    #: ``[0, span)`` of its private space.
+    span: int
+
+
+def tenant_layout(
+    tenants: int, devices: int, pages_per_device: int
+) -> Tuple[TenantPlacement, ...]:
+    """Deterministic disjoint placement of ``tenants`` onto ``devices``.
+
+    Tenants round-robin across devices; when there are more tenants
+    than devices, each device's LPN range is split into equal slots.
+    """
+    if tenants < 1:
+        raise ValueError(f"tenants must be >= 1, got {tenants}")
+    if devices < 1:
+        raise ValueError(f"devices must be >= 1, got {devices}")
+    slots = (tenants + devices - 1) // devices
+    span = pages_per_device // slots
+    if span < 1:
+        raise ValueError(
+            f"pages_per_device={pages_per_device} cannot host {slots} "
+            f"tenant slots per device"
+        )
+    placements = []
+    for t in range(tenants):
+        device = t % devices
+        slot = t // devices
+        placements.append(
+            TenantPlacement(
+                tenant=t,
+                device=device,
+                base_lpn=device * pages_per_device + slot * span,
+                span=span,
+            )
+        )
+    return tuple(placements)
+
+
+class MultiplexedTrace(Trace):
+    """A merged multi-tenant trace: a :class:`Trace` plus tenant tags."""
+
+    def __init__(
+        self,
+        *args,
+        tenant_ids: np.ndarray,
+        placements: Tuple[TenantPlacement, ...],
+        **kwargs,
+    ) -> None:
+        super().__init__(*args, **kwargs)
+        if len(tenant_ids) != len(self.times_us):
+            raise ValueError("tenant_ids length mismatch")
+        self.tenant_ids = np.asarray(tenant_ids, dtype=np.int32)
+        self.placements = placements
+
+    @property
+    def tenants(self) -> int:
+        return len(self.placements)
+
+
+def _gather_fps(
+    fps_flat: np.ndarray, fp_offsets: np.ndarray, order: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Reorder a variable-length fingerprint column by request ``order``."""
+    counts = (fp_offsets[1:] - fp_offsets[:-1])[order]
+    new_offsets = np.zeros(len(order) + 1, dtype=np.int64)
+    np.cumsum(counts, out=new_offsets[1:])
+    total = int(new_offsets[-1])
+    if total == 0:
+        return np.empty(0, dtype=np.int64), new_offsets
+    # Gather index: for each output slot, the position in the source
+    # flat array = source run start + offset within the run.
+    starts = np.repeat(fp_offsets[:-1][order], counts)
+    within = np.arange(total, dtype=np.int64) - np.repeat(new_offsets[:-1], counts)
+    return fps_flat[starts + within], new_offsets
+
+
+def multiplex_traces(
+    traces: Sequence[Trace],
+    devices: int,
+    pages_per_device: int,
+    name: str = "multi",
+) -> MultiplexedTrace:
+    """Merge per-tenant traces into one arrival-ordered array stream.
+
+    Tenant ``t``'s LPNs are rebased into its :func:`tenant_layout`
+    window (the caller's traces address ``[0, span)`` each); the merged
+    stream is stable-sorted by ``(time_us, tenant, seq)``.  Raises if a
+    tenant's trace does not fit its window.
+    """
+    if not traces:
+        raise ValueError("need at least one tenant trace")
+    placements = tenant_layout(len(traces), devices, pages_per_device)
+    for trace, placement in zip(traces, placements):
+        top = trace.max_lpn()
+        if len(trace) and top >= placement.span:
+            raise ValueError(
+                f"tenant {placement.tenant} trace {trace.name!r} addresses "
+                f"LPN {top} outside its window span {placement.span}"
+            )
+    times = np.concatenate([t.times_us for t in traces])
+    ops = np.concatenate([t.ops for t in traces])
+    lpns = np.concatenate(
+        [t.lpns + p.base_lpn for t, p in zip(traces, placements)]
+    )
+    npages = np.concatenate([t.npages for t in traces])
+    tenants = np.concatenate(
+        [np.full(len(t), p.tenant, dtype=np.int32) for t, p in zip(traces, placements)]
+    )
+    seqs = np.concatenate(
+        [np.arange(len(t), dtype=np.int64) for t in traces]
+    )
+    # Concatenation keeps each request's fingerprint run consecutive,
+    # so the concat-order offset table is just the count cumsum.
+    fp_counts = np.concatenate([t.fp_offsets[1:] - t.fp_offsets[:-1] for t in traces])
+    fps_concat = (
+        np.concatenate([t.fps_flat for t in traces])
+        if any(len(t.fps_flat) for t in traces)
+        else np.empty(0, dtype=np.int64)
+    )
+    offsets_concat = np.zeros(len(times) + 1, dtype=np.int64)
+    np.cumsum(fp_counts, out=offsets_concat[1:])
+    # Stable merge order: (time_us, tenant, seq).  lexsort keys are
+    # listed least-significant first.
+    order = np.lexsort((seqs, tenants, times))
+    fps_flat, fp_offsets = _gather_fps(fps_concat, offsets_concat, order)
+    return MultiplexedTrace(
+        times[order],
+        ops[order],
+        lpns[order],
+        npages[order],
+        fps_flat,
+        fp_offsets,
+        name,
+        tenant_ids=tenants[order],
+        placements=placements,
+    )
+
+
+def demultiplex_lpns(
+    lpns: np.ndarray, placements: Sequence[TenantPlacement]
+) -> np.ndarray:
+    """Tenant id per request, recovered purely from global LPNs.
+
+    The inverse of the placement map — used by the shrinker, which
+    carries plain request rows and re-derives tenant tags afterwards.
+    """
+    out = np.full(len(lpns), -1, dtype=np.int32)
+    for p in placements:
+        mask = (lpns >= p.base_lpn) & (lpns < p.base_lpn + p.span)
+        out[mask] = p.tenant
+    return out
+
+
+__all__ = [
+    "TenantPlacement",
+    "MultiplexedTrace",
+    "tenant_layout",
+    "multiplex_traces",
+    "demultiplex_lpns",
+]

@@ -1,0 +1,205 @@
+"""Property tests for the array's deterministic plumbing.
+
+Hypothesis sweeps the structural invariants the equivalence suite
+relies on but does not itself probe:
+
+* the multiplexer's merge is a *stable* sort by ``(time, tenant,
+  seq)`` — per-tenant order is preserved, ties break by tenant id,
+  and re-multiplexing is a pure function of the inputs;
+* routing is a pure function of the LPN: the split partitions the
+  merged stream without reordering, rebases correctly, and round-trips;
+* the NCQ gate never admits past its depth, for any depth;
+* replaying the same merged trace twice is bit-identical.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.array import RangeRouter, SSDArray
+from repro.config import small_config
+from repro.oracle.diff import build_scheme
+from repro.workloads.multiplex import (
+    demultiplex_lpns,
+    multiplex_traces,
+    tenant_layout,
+)
+from repro.workloads.request import OpKind
+from repro.workloads.trace import Trace
+
+_W, _R = int(OpKind.WRITE), int(OpKind.READ)
+
+
+def _tenant_trace(rng: np.random.Generator, n: int, span: int, name: str) -> Trace:
+    """A small, time-sorted single-tenant trace with integer-valued
+    timestamps (coarse enough to force plenty of cross-tenant ties)."""
+    times = np.sort(rng.integers(0, max(2, n // 2), size=n)).astype(np.float64)
+    ops = np.where(rng.random(n) < 0.7, _W, _R).astype(np.uint8)
+    lpns = rng.integers(0, span, size=n).astype(np.int64)
+    npages = np.ones(n, dtype=np.int32)
+    fp_counts = np.where(ops == _W, 1, 0)
+    fp_offsets = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(fp_counts, out=fp_offsets[1:])
+    fps_flat = rng.integers(1 << 20, 1 << 21, size=int(fp_offsets[-1])).astype(
+        np.int64
+    )
+    return Trace(times, ops, lpns, npages, fps_flat, fp_offsets, name=name)
+
+
+class TestTenantLayout:
+    @given(
+        tenants=st.integers(min_value=1, max_value=12),
+        devices=st.integers(min_value=1, max_value=6),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_windows_disjoint_and_contained(self, tenants, devices):
+        pages = 4096
+        placements = tenant_layout(tenants, devices, pages)
+        for p in placements:
+            assert 0 <= p.device < devices
+            lo, hi = p.base_lpn, p.base_lpn + p.span
+            assert p.device * pages <= lo and hi <= (p.device + 1) * pages
+        windows = sorted((p.base_lpn, p.base_lpn + p.span) for p in placements)
+        for (_, hi), (lo, _) in zip(windows, windows[1:]):
+            assert hi <= lo, "tenant windows overlap"
+
+
+class TestMergeOrder:
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        tenants=st.integers(min_value=1, max_value=5),
+        devices=st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_stable_sort_by_time_tenant_seq(self, seed, tenants, devices):
+        rng = np.random.default_rng(seed)
+        pages = 1024
+        placements = tenant_layout(tenants, devices, pages)
+        traces = [
+            _tenant_trace(rng, int(rng.integers(1, 40)), placements[t].span, f"t{t}")
+            for t in range(tenants)
+        ]
+        merged = multiplex_traces(traces, devices, pages)
+        assert len(merged) == sum(len(t) for t in traces)
+        # (time, tenant) lexicographic, i.e. ties break by tenant id.
+        keys = list(zip(merged.times_us.tolist(), merged.tenant_ids.tolist()))
+        assert keys == sorted(keys)
+        # Stability: each tenant's subsequence is its trace, in order.
+        for t, (trace, placement) in enumerate(zip(traces, placements)):
+            mask = merged.tenant_ids == t
+            assert np.array_equal(merged.times_us[mask], trace.times_us)
+            assert np.array_equal(merged.ops[mask], trace.ops)
+            assert np.array_equal(
+                merged.lpns[mask] - placement.base_lpn, trace.lpns
+            )
+        # Tenant tags are redundant with the LPN windows.
+        assert np.array_equal(
+            demultiplex_lpns(merged.lpns, placements), merged.tenant_ids
+        )
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_merge_is_pure(self, seed):
+        rng = np.random.default_rng(seed)
+        traces = [_tenant_trace(rng, 30, 256, f"t{t}") for t in range(3)]
+        a = multiplex_traces(traces, 2, 1024)
+        b = multiplex_traces(traces, 2, 1024)
+        for col in ("times_us", "ops", "lpns", "npages", "fps_flat", "fp_offsets"):
+            assert np.array_equal(getattr(a, col), getattr(b, col))
+        assert np.array_equal(a.tenant_ids, b.tenant_ids)
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_fingerprints_follow_their_request(self, seed):
+        rng = np.random.default_rng(seed)
+        traces = [_tenant_trace(rng, 25, 256, f"t{t}") for t in range(3)]
+        merged = multiplex_traces(traces, 3, 1024)
+        by_tenant = {t: iter(tr.iter_rows()) for t, tr in enumerate(traces)}
+        for i, row in enumerate(merged.iter_rows()):
+            want = next(by_tenant[int(merged.tenant_ids[i])])
+            got_fps = [] if row[4] is None else row[4].tolist()
+            want_fps = [] if want[4] is None else want[4].tolist()
+            assert got_fps == want_fps
+
+
+class TestRouterPurity:
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        devices=st.integers(min_value=1, max_value=5),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_device_of_is_pure_and_split_consistent(self, seed, devices):
+        rng = np.random.default_rng(seed)
+        pages = 512
+        router = RangeRouter(devices, pages)
+        trace = _tenant_trace(rng, 60, devices * pages, "flat")
+        split = router.split(trace)
+        assert len(split) == devices
+        assert sum(len(sub) for sub, _ in split) == len(trace)
+        for device, (sub, _) in enumerate(split):
+            # Rebased into the device-local space...
+            assert np.all(sub.lpns >= 0) and np.all(sub.lpns < pages)
+            # ...and routing each global LPN individually agrees.
+            global_lpns = sub.lpns + device * pages
+            for lpn in global_lpns.tolist():
+                assert router.device_of(lpn) == device
+            # Relative order within the device is preserved.
+            assert np.all(np.diff(sub.times_us) >= 0)
+        # Round-trip: reassembling by device recovers the multiset of
+        # (time, op, global lpn) rows exactly.
+        rebuilt = sorted(
+            (t, o, l + d * pages)
+            for d, (sub, _) in enumerate(split)
+            for t, o, l in zip(
+                sub.times_us.tolist(), sub.ops.tolist(), sub.lpns.tolist()
+            )
+        )
+        original = sorted(
+            zip(trace.times_us.tolist(), trace.ops.tolist(), trace.lpns.tolist())
+        )
+        assert rebuilt == original
+
+
+class TestNCQBound:
+    @given(
+        seed=st.integers(min_value=0, max_value=500),
+        depth=st.integers(min_value=1, max_value=12),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_inflight_never_exceeds_depth(self, seed, depth):
+        rng = np.random.default_rng(seed)
+        cfg = small_config(blocks=32, pages_per_block=8, gc_mode="blocking")
+        traces = [
+            _tenant_trace(rng, 120, cfg.logical_pages // 1, f"t{t}")
+            for t in range(2)
+        ]
+        merged = multiplex_traces(traces, 2, cfg.logical_pages)
+        schemes = [build_scheme("baseline", "greedy", cfg) for _ in range(2)]
+        result = SSDArray(schemes, ncq_depth=depth).replay(merged)
+        assert all(peak <= depth for peak in result.ncq_peaks)
+        assert result.requests_completed == len(merged)
+
+
+class TestReplayDeterminism:
+    @given(seed=st.integers(min_value=0, max_value=500))
+    @settings(max_examples=8, deadline=None)
+    def test_same_trace_twice_bit_identical(self, seed):
+        rng = np.random.default_rng(seed)
+        cfg = small_config(blocks=32, pages_per_block=8, gc_mode="blocking")
+        traces = [
+            _tenant_trace(rng, 150, cfg.logical_pages, f"t{t}") for t in range(2)
+        ]
+        merged = multiplex_traces(traces, 2, cfg.logical_pages)
+        runs = []
+        for _ in range(2):
+            schemes = [build_scheme("cagc", "greedy", cfg) for _ in range(2)]
+            result = SSDArray(
+                schemes, coordination="staggered", ncq_depth=6
+            ).replay(merged)
+            runs.append(result)
+        a, b = runs
+        for da, db in zip(a.devices, b.devices):
+            assert np.array_equal(da.response_times_us, db.response_times_us)
+            assert da.gc == db.gc and da.io == db.io
+        assert np.array_equal(a.telemetry.hist.counts, b.telemetry.hist.counts)
+        assert a.coord_stats == b.coord_stats
+        assert a.simulated_us == b.simulated_us

@@ -163,3 +163,31 @@ class TestReports:
         assert isinstance(report, ExperimentReport)
         assert len(report.rows) >= 3
         assert str(report)
+
+
+class TestArrayTail:
+    def test_registered_with_spec_fanout(self):
+        from repro.experiments.registry import _SPEC_BUILDERS
+
+        assert "array-tail" in EXPERIMENTS
+        specs = _SPEC_BUILDERS["array-tail"]("quick")
+        assert len(specs) == 3
+        assert {s.gc_coord for s in specs} == {
+            "independent",
+            "staggered",
+            "global-token",
+        }
+        assert all(s.array_devices == 4 and s.tenants == 4 for s in specs)
+
+    def test_reproduces_unsynchronized_gc_tail_inflation(self):
+        """The experiment's headline claim, at quick scale: independent
+        per-device GC shows the worst array-wide p999, strictly above
+        the best coordinated policy."""
+        report = run_experiment("array-tail", scale="quick")
+        assert isinstance(report, ExperimentReport)
+        assert len(report.rows) == 3
+        assert str(report)
+        p999 = report.data["p999"]
+        coordinated = min(p999["staggered"], p999["global-token"])
+        assert p999["independent"] > coordinated
+        assert report.data["inflation"]["independent"] > 1.0

@@ -70,8 +70,21 @@ REPLAY_CASES: Dict[str, Tuple[str, int]] = {
     "baseline@64x": ("baseline", 64),
     "cagc@64x": ("cagc", 64),
 }
+#: array case name -> GC coordination.  Four tenants on four devices
+#: through the shared-clock event loop (the array has no batched
+#: kernel), so these cases guard the per-event cost of the array tier:
+#: NCQ admission, router dispatch, per-tenant telemetry, and — in the
+#: staggered case — the coordinator's window/deferral machinery.
+#: Additive within schema 4: the guard skips cases missing from a
+#: baseline, so older snapshots stay comparable on the shared cases.
+ARRAY_CASES: Dict[str, str] = {
+    "array@4": "independent",
+    "array@4-staggered": "staggered",
+}
 TRACE_GEN_CASE = "trace-generation"
-ALL_CASES: Tuple[str, ...] = tuple(REPLAY_CASES) + (TRACE_GEN_CASE,)
+ALL_CASES: Tuple[str, ...] = (
+    tuple(REPLAY_CASES) + tuple(ARRAY_CASES) + (TRACE_GEN_CASE,)
+)
 
 REPLAY_REQUESTS = 5_000
 DEFAULT_BLOCKS = 128
@@ -147,6 +160,38 @@ def run_case(name: str, rounds: int) -> Dict[str, float]:
         stats = _median_us_per_op(
             lambda: build_fiu_trace("web-vm", cfg, n_requests=TRACE_GEN_REQUESTS),
             ops=TRACE_GEN_REQUESTS,
+            rounds=rounds,
+            single_run_s=single,
+        )
+    elif name in ARRAY_CASES:
+        from repro.array import SSDArray
+        from repro.workloads.multiplex import multiplex_traces
+
+        coordination = ARRAY_CASES[name]
+        devices = tenants = 4
+        cfg = small_config(blocks=DEFAULT_BLOCKS, pages_per_block=32)
+        tenant_traces = [
+            build_fiu_trace(
+                "mail", cfg, n_requests=REPLAY_REQUESTS // tenants, seed=100 + t
+            )
+            for t in range(tenants)
+        ]
+        merged = multiplex_traces(
+            tenant_traces, devices=devices, pages_per_device=cfg.logical_pages
+        )
+
+        def replay_array():
+            schemes = [make_scheme("cagc", cfg) for _ in range(devices)]
+            return SSDArray(
+                schemes, coordination=coordination, ncq_depth=16
+            ).replay(merged)
+
+        start = time.perf_counter()  # warm-up doubles as calibration
+        replay_array()
+        single = time.perf_counter() - start
+        stats = _median_us_per_op(
+            replay_array,
+            ops=len(merged),
             rounds=rounds,
             single_run_s=single,
         )
