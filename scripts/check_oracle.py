@@ -80,6 +80,13 @@ def main(argv=None) -> int:
         "folded latency histograms too (kernel-equivalence mode only)",
     )
     parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="attach a DeviceMetrics bundle to both replay paths and diff "
+        "the request counter and latency histogram aggregates too "
+        "(kernel-equivalence mode only)",
+    )
+    parser.add_argument(
         "--array",
         action="store_true",
         help="sweep the N-device array against per-device oracles instead: "
@@ -167,6 +174,7 @@ def main(argv=None) -> int:
                         policy=policy,
                         config=config,
                         telemetry=args.trace,
+                        metrics=args.metrics,
                     )
                 else:
                     divergence = diff_trace(
@@ -189,6 +197,7 @@ def main(argv=None) -> int:
                                 policy=p,
                                 config=config,
                                 telemetry=args.trace,
+                                metrics=args.metrics,
                             )
                             is not None
                         )

@@ -73,6 +73,9 @@ class ArrayResult:
     coord_stats: Dict[str, float] = field(default_factory=dict)
     #: set when a vectorized-kernel request fell back to the event loop.
     kernel_fallback_reason: Optional[str] = None
+    #: present when the array ran with an ArrayMetrics registry
+    #: attached (global + per-device/per-tenant labeled families).
+    metrics: Optional[object] = None
 
     def __len__(self) -> int:
         return len(self.devices)
@@ -271,6 +274,7 @@ class SSDArray:
         pages_per_device: Optional[int] = None,
         tracer=None,
         heartbeat=None,
+        metrics=None,
         keep_samples: bool = True,
         window_us: Optional[float] = None,
     ) -> None:
@@ -291,6 +295,9 @@ class SSDArray:
         self.ncq_depth = ncq_depth
         self.tracer = tracer
         self.heartbeat = heartbeat
+        #: ArrayMetrics bundle; bound in replay() once the tenant count
+        #: is known (label children are resolved per device/tenant).
+        self.metrics = metrics
         self.telemetry: Optional[ArrayTelemetry] = None
         self.lanes: List[_ArrayLane] = [
             _ArrayLane(
@@ -340,6 +347,13 @@ class SSDArray:
         else:
             tenants = 1
         self.telemetry = ArrayTelemetry(self.devices, tenants)
+        if self.metrics is not None:
+            self.metrics.bind_array(self, self.devices, tenants)
+        if self.heartbeat is not None:
+            try:
+                self.heartbeat.expect(len(trace))
+            except TypeError:
+                pass  # streaming traces have no known length (no ETA)
         for lane, (sub, lane_tenants) in zip(
             self.lanes, self.router.split(trace)
         ):
@@ -352,11 +366,14 @@ class SSDArray:
         coord_stats = (
             self.coordinator.stats() if self.coordinator is not None else {}
         )
+        if self.metrics is not None:
+            self.metrics.finish(self.sim.now, self)
         if self.heartbeat is not None:
             self.heartbeat.finish(
                 self.sim.now,
                 self.sim.events_processed,
                 self.telemetry.hist.total,
+                gc_collects=self._gc_collects(),
             )
         return ArrayResult(
             coordination=self.coordination,
@@ -372,19 +389,32 @@ class SSDArray:
             ncq_held=tuple(lane.ncq_held for lane in self.lanes),
             coord_stats=coord_stats,
             kernel_fallback_reason=self.kernel_fallback_reason,
+            metrics=(
+                self.metrics.snapshot() if self.metrics is not None else None
+            ),
         )
 
     # ----------------------------------------------------------- hooks
+
+    def _gc_collects(self) -> int:
+        return sum(
+            lane.scheme.gc_counters.gc_invocations for lane in self.lanes
+        )
 
     def _on_lane_complete(
         self, lane: _ArrayLane, tenant: int, latency_us: float
     ) -> None:
         self.telemetry.on_complete(lane.index, tenant, latency_us)
+        if self.metrics is not None:
+            self.metrics.on_array_complete(
+                lane.index, tenant, self.sim.now, latency_us
+            )
         if self.heartbeat is not None:
             self.heartbeat.tick(
                 self.sim.now,
                 self.sim.events_processed,
                 self.telemetry.hist.total,
+                gc_collects=self._gc_collects(),
             )
 
     def _schedule_window(self, window_us: float) -> None:

@@ -13,6 +13,10 @@ Examples::
     cagc-repro simulate --scheme baseline --replay mail.csv --policy cost-benefit
     cagc-repro simulate --scheme cagc --trace run.json --trace-format chrome
     cagc-repro report --workload mail --scheme cagc
+    cagc-repro report --compare mail/baseline mail/cagc --threshold 0.1
+    cagc-repro metrics --workload mail --scheme cagc --format prom
+    cagc-repro metrics --workload mail --format jsonl --slo
+    cagc-repro bench-history
 
 Experiment runs are cached persistently (``results/cache`` or
 ``$CAGC_CACHE_DIR``), so repeated invocations are nearly instant;
@@ -23,7 +27,14 @@ Observability: ``--trace FILE`` records a span trace of any ``simulate``
 or ``run`` invocation (``--trace-format chrome`` opens in Perfetto /
 ``chrome://tracing``), ``--heartbeat SECS`` prints wall-clock progress to
 stderr, ``report`` renders the full telemetry view of a cached run, and
-every subcommand takes ``-q`` / ``-v`` to gate status chatter.
+every subcommand takes ``-q`` / ``-v`` to gate status chatter.  Every
+cached run also carries a metrics snapshot (final values + simulated-time
+series): ``metrics`` exports it as a Prometheus text snapshot or a
+JSONL/CSV time-series dump and ``--slo`` evaluates burn rates against
+declarative latency/WAF objectives, ``report --compare RUN_A RUN_B``
+diffs two runs metric-by-metric with threshold flagging, and
+``bench-history`` tabulates the per-case µs/op trajectory recorded in
+``BENCH_history.jsonl`` across commits.
 """
 
 from __future__ import annotations
@@ -101,6 +112,26 @@ def _add_array_args(parser: argparse.ArgumentParser) -> None:
         default=32,
         metavar="D",
         help="per-device NCQ admission window (default: 32)",
+    )
+
+
+def _add_run_selector_args(parser: argparse.ArgumentParser) -> None:
+    """The cached-run coordinates shared by ``report`` and ``metrics``."""
+    parser.add_argument("--workload", default="mail", choices=sorted(FIU_PRESETS))
+    parser.add_argument("--scheme", default="cagc", choices=SCHEME_NAMES)
+    parser.add_argument("--policy", default="greedy", choices=sorted(POLICIES))
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--scale",
+        default="bench",
+        choices=sorted(SCALES),
+        help="device/trace sizing (default: bench)",
+    )
+    parser.add_argument(
+        "--device",
+        default="single",
+        choices=("single", "parallel"),
+        help="controller model (default: single)",
     )
 
 
@@ -330,29 +361,110 @@ def _build_parser() -> argparse.ArgumentParser:
     rep_p = sub.add_parser(
         "report",
         help="full telemetry view of one run (latency percentiles, WAF, "
-        "dedup ratios, GC phase breakdown) from the result cache",
+        "dedup ratios, GC phase breakdown) from the result cache; "
+        "--compare diffs the metrics of two cached runs instead",
     )
-    rep_p.add_argument("--workload", default="mail", choices=sorted(FIU_PRESETS))
-    rep_p.add_argument("--scheme", default="cagc", choices=SCHEME_NAMES)
-    rep_p.add_argument("--policy", default="greedy", choices=sorted(POLICIES))
-    rep_p.add_argument("--seed", type=int, default=0)
-    rep_p.add_argument(
-        "--scale",
-        default="bench",
-        choices=sorted(SCALES),
-        help="device/trace sizing (default: bench)",
-    )
-    rep_p.add_argument(
-        "--device",
-        default="single",
-        choices=("single", "parallel"),
-        help="controller model (default: single)",
-    )
+    _add_run_selector_args(rep_p)
     rep_p.add_argument(
         "--out", default=None, metavar="FILE", help="also write the report as JSON"
     )
+    rep_p.add_argument(
+        "--compare",
+        nargs=2,
+        default=None,
+        metavar=("RUN_A", "RUN_B"),
+        help="diff two runs' metrics instead of reporting one; runs are "
+        "named as report labels them: workload[/scheme[/policy]]"
+        "[@scale][#seed] (array shape/device flags apply to both)",
+    )
+    rep_p.add_argument(
+        "--threshold",
+        type=float,
+        default=None,
+        metavar="FRAC",
+        help="relative-delta flagging threshold for --compare "
+        "(default: 0.05)",
+    )
+    rep_p.add_argument(
+        "--fail-on-diff",
+        action="store_true",
+        help="with --compare: exit 1 when any metric is flagged",
+    )
     _add_array_args(rep_p)
     _add_parallel_args(rep_p)
+
+    met_p = sub.add_parser(
+        "metrics",
+        help="export the metrics snapshot of a cached run (Prometheus "
+        "text, or the simulated-time series as JSONL/CSV) and "
+        "optionally evaluate SLO burn rates",
+    )
+    _add_run_selector_args(met_p)
+    met_p.add_argument(
+        "--format",
+        default="prom",
+        choices=("prom", "jsonl", "csv"),
+        help="prom: OpenMetrics-style final-values snapshot (default); "
+        "jsonl/csv: the time series, one simulated-time sample per row",
+    )
+    met_p.add_argument(
+        "--out", default=None, metavar="FILE", help="write here instead of stdout"
+    )
+    met_p.add_argument(
+        "--slo",
+        action="store_true",
+        help="also print the SLO burn-rate table and GC-spike annotations",
+    )
+    met_p.add_argument(
+        "--slo-p99-us",
+        type=float,
+        default=500.0,
+        metavar="US",
+        help="windowed p99 latency objective (default: 500)",
+    )
+    met_p.add_argument(
+        "--slo-p999-us",
+        type=float,
+        default=2_000.0,
+        metavar="US",
+        help="windowed p999 latency objective (default: 2000)",
+    )
+    met_p.add_argument(
+        "--slo-waf",
+        type=float,
+        default=4.0,
+        metavar="X",
+        help="end-of-run write-amplification objective (default: 4.0)",
+    )
+    _add_array_args(met_p)
+    _add_parallel_args(met_p)
+
+    hist_p = sub.add_parser(
+        "bench-history",
+        help="per-case µs/op trajectory across commits from "
+        "BENCH_history.jsonl, with regression annotations",
+    )
+    hist_p.add_argument(
+        "--file",
+        default="BENCH_history.jsonl",
+        metavar="PATH",
+        help="history file (default: BENCH_history.jsonl)",
+    )
+    hist_p.add_argument(
+        "--threshold",
+        type=float,
+        default=None,
+        metavar="FRAC",
+        help="fractional slowdown before a step is annotated "
+        "(default: 0.25, the bench guard's)",
+    )
+    hist_p.add_argument(
+        "--cases",
+        nargs="+",
+        default=None,
+        metavar="CASE",
+        help="restrict the table to these bench cases",
+    )
 
     for sub_parser in sub.choices.values():
         log.add_verbosity_args(sub_parser)
@@ -826,13 +938,9 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_report(args: argparse.Namespace) -> int:
-    """Render the unified telemetry view of one (possibly cached) run."""
-    from repro.obs import RunTelemetry
-
-    if args.no_cache:
-        _disable_cache()
-    spec = RunSpec(
+def _spec_from_args(args: argparse.Namespace) -> RunSpec:
+    """Build the cached-run spec from the shared selector flags."""
+    return RunSpec(
         workload=args.workload,
         scheme=args.scheme,
         policy=args.policy,
@@ -844,21 +952,299 @@ def _cmd_report(args: argparse.Namespace) -> int:
         gc_coord=args.gc_coord,
         ncq_depth=args.ncq_depth,
     )
+
+
+def _fallback_reason(sample: str) -> str:
+    """``cagc_..._total{reason="x"}`` -> ``x``."""
+    return sample.split('reason="', 1)[1].rstrip('"}')
+
+
+def _kernel_doc(result) -> Optional[dict]:
+    """Kernel attribution from the metrics snapshot (or array result)."""
+    fallback_reason = getattr(result, "kernel_fallback_reason", None)
+    snapshot = result.metrics
+    if snapshot is None:
+        if fallback_reason is None:
+            return None
+        return {"fallback_reason": fallback_reason}
+    family = "cagc_kernel_fallback_requests_total"
+    doc = {
+        "batches": snapshot.values.get("cagc_kernel_batches_total", 0.0),
+        "batched_requests": snapshot.values.get(
+            "cagc_kernel_batched_requests_total", 0.0
+        ),
+        "fallback_requests": {
+            _fallback_reason(sample): value
+            for sample, value in snapshot.values.items()
+            if sample.startswith(family + "{")
+        },
+    }
+    if fallback_reason is not None:
+        doc["fallback_reason"] = fallback_reason
+    return doc
+
+
+def _kernel_rows(kernel: Optional[dict]) -> List[tuple]:
+    """``(metric, value)`` table rows mirroring :func:`_kernel_doc`."""
+    if not kernel:
+        return []
+    rows = []
+    if kernel.get("batches"):
+        rows.append(
+            (
+                "kernel batches",
+                f"{kernel['batches']:.0f} "
+                f"({kernel['batched_requests']:.0f} reqs)",
+            )
+        )
+    for reason in sorted(kernel.get("fallback_requests", ())):
+        rows.append(
+            (
+                f"kernel fallback[{reason}]",
+                f"{kernel['fallback_requests'][reason]:.0f}",
+            )
+        )
+    if kernel.get("fallback_reason"):
+        rows.append(("kernel fallback reason", kernel["fallback_reason"]))
+    return rows
+
+
+def _slo_doc(result, array: bool) -> List[dict]:
+    """Structured SLO rows: per-tenant percentiles for arrays, the
+    declarative burn-rate evaluation for single devices."""
+    if array:
+        telemetry = result.telemetry
+        doc = [
+            {
+                "scope": "array",
+                "p99_us": telemetry.hist.percentile(99.0),
+                "p999_us": telemetry.hist.percentile(99.9),
+                "requests": telemetry.hist.total,
+            }
+        ]
+        for tenant, (p99, p999) in telemetry.tenant_percentiles():
+            doc.append(
+                {
+                    "scope": f"tenant-{tenant}",
+                    "p99_us": p99,
+                    "p999_us": p999,
+                    "requests": telemetry.tenant_hists[tenant].total,
+                }
+            )
+        return doc
+    if result.metrics is None:
+        return []
+    from repro.obs import evaluate_slos
+
+    return evaluate_slos(result.metrics)
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    """Render the unified telemetry view of one (possibly cached) run."""
+    from repro.obs import RunTelemetry
+
+    if args.no_cache:
+        _disable_cache()
+    if args.compare is not None:
+        return _cmd_report_compare(args)
+    spec = _spec_from_args(args)
     cache = RunCache.from_env() if cache_enabled() else None
     start = time.time()
     result = run_specs([spec], jobs=args.jobs, cache=cache)[0]
     wall = time.time() - start
+    kernel = _kernel_doc(result)
     if args.array_devices:
         rows = _array_report_rows(result)
     else:
         rows = RunTelemetry.summary_rows(result)
+    rows = list(rows) + _kernel_rows(kernel)
     print(format_table(("Metric", "Value"), rows, title=spec.label()))
     hits = cache.hits if cache is not None else 0
     log.info("(%.1fs, %s)", wall, "cached" if hits else "fresh run")
     if args.out:
-        doc = {"run": spec.label(), "metrics": {k: v for k, v in rows}}
+        doc = {
+            "run": spec.label(),
+            "metrics": {k: v for k, v in rows},
+            "kernel": kernel,
+            "slo": _slo_doc(result, array=bool(args.array_devices)),
+        }
         Path(args.out).write_text(json.dumps(doc, indent=2) + "\n")
         log.info("wrote %s", args.out)
+    return 0
+
+
+def _fmt_delta_cell(value) -> str:
+    from repro.obs import export
+
+    if value is None:
+        return "-"
+    return export.format_value(float(value))
+
+
+def _cmd_report_compare(args: argparse.Namespace) -> int:
+    """``report --compare RUN_A RUN_B``: cross-run metric diffing."""
+    from repro.obs.compare import DEFAULT_THRESHOLD, compare_snapshots, flagged, summarize
+
+    extras = dict(
+        device=args.device,
+        array_devices=args.array_devices,
+        tenants=args.tenants,
+        gc_coord=args.gc_coord,
+        ncq_depth=args.ncq_depth,
+    )
+    try:
+        spec_a = RunSpec.parse(args.compare[0], **extras)
+        spec_b = RunSpec.parse(args.compare[1], **extras)
+    except ValueError as exc:
+        log.error("error: %s", exc)
+        return 2
+    threshold = args.threshold if args.threshold is not None else DEFAULT_THRESHOLD
+    cache = RunCache.from_env() if cache_enabled() else None
+    results = run_specs([spec_a, spec_b], jobs=args.jobs, cache=cache)
+    for spec, result in zip((spec_a, spec_b), results):
+        if result.metrics is None:
+            log.error(
+                "error: %s carries no metrics snapshot (parallel-device "
+                "runs are unmetered); re-run with --no-cache or a "
+                "metered device model",
+                spec.label(),
+            )
+            return 2
+    rows = compare_snapshots(
+        results[0].metrics, results[1].metrics, threshold=threshold
+    )
+    hot = flagged(rows)
+    summary = summarize(rows, threshold)
+    if hot:
+        table = [
+            (
+                row["metric"],
+                _fmt_delta_cell(row["a"]),
+                _fmt_delta_cell(row["b"]),
+                _fmt_delta_cell(row["delta"]),
+                "-" if row["rel"] is None else f"{row['rel']:+.1%}",
+            )
+            for row in hot
+        ]
+        print(
+            format_table(
+                ("Metric", "A", "B", "Delta", "Rel"),
+                table,
+                title=f"{spec_a.label()}  vs  {spec_b.label()}",
+            )
+        )
+    print(
+        f"compare: {summary['metrics']} metrics, {summary['flagged']} "
+        f"flagged above {threshold:.0%}"
+        + ("" if hot else " (runs are metric-identical at this threshold)")
+    )
+    if args.out:
+        doc = {
+            "run_a": spec_a.label(),
+            "run_b": spec_b.label(),
+            "threshold": threshold,
+            "summary": summary,
+            "rows": rows,
+        }
+        Path(args.out).write_text(json.dumps(doc, indent=2) + "\n")
+        log.info("wrote %s", args.out)
+    return 1 if (args.fail_on_diff and hot) else 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    """Export a cached run's metrics snapshot; optionally judge SLOs."""
+    from repro.obs import prometheus_text, series_csv, series_jsonl
+    from repro.obs.slo import default_objectives, evaluate_slos, gc_spike_annotations
+
+    if args.no_cache:
+        _disable_cache()
+    spec = _spec_from_args(args)
+    cache = RunCache.from_env() if cache_enabled() else None
+    result = run_specs([spec], jobs=args.jobs, cache=cache)[0]
+    snapshot = result.metrics
+    if snapshot is None:
+        log.error(
+            "error: %s carries no metrics snapshot (parallel-device runs "
+            "are unmetered)",
+            spec.label(),
+        )
+        return 2
+    render = {"prom": prometheus_text, "jsonl": series_jsonl, "csv": series_csv}
+    text = render[args.format](snapshot)
+    if args.out:
+        Path(args.out).write_text(text)
+        log.info(
+            "wrote %s (%s, %d samples)", args.out, args.format, snapshot.samples
+        )
+    else:
+        sys.stdout.write(text)
+    if args.slo:
+        objectives = default_objectives(
+            p99_us=args.slo_p99_us, p999_us=args.slo_p999_us, waf=args.slo_waf
+        )
+        rows = [
+            (
+                r["objective"],
+                r["target"],
+                f"{r['limit']:g}",
+                f"{r['worst']:.1f}",
+                f"{r['violations']}/{r['windows']}",
+                f"{r['burn_rate']:.2f}",
+                r["status"],
+            )
+            for r in evaluate_slos(snapshot, objectives)
+        ]
+        print(
+            format_table(
+                ("Objective", "Target", "Limit", "Worst", "Viol", "Burn", "Status"),
+                rows,
+                title=f"SLO burn rates: {spec.label()}",
+            )
+        )
+        spikes = gc_spike_annotations(snapshot, limit=args.slo_p99_us)
+        correlated = sum(1 for s in spikes if s["correlated"])
+        print(
+            f"gc spikes: {len(spikes)} windows above p99 objective, "
+            f"{correlated} correlated with collect activity"
+        )
+        for spike in spikes[:10]:
+            print(
+                f"  t={spike['t_us'] / 1e6:.3f}s  "
+                f"p99={spike['value']:.0f}us  gc+{spike['gc_delta']:.0f}"
+            )
+    return 0
+
+
+def _cmd_bench_history(args: argparse.Namespace) -> int:
+    """Tabulate BENCH_history.jsonl with regression annotations."""
+    from repro.metrics.history import DEFAULT_THRESHOLD, history_rows, load_history
+
+    path = Path(args.file)
+    if not path.exists():
+        log.error("error: no such file: %s", path)
+        return 2
+    threshold = args.threshold if args.threshold is not None else DEFAULT_THRESHOLD
+    entries = load_history(path)
+    if not entries:
+        print(f"bench-history: no comparable entries in {path}")
+        return 0
+    header, rows, regressions = history_rows(
+        entries, threshold=threshold, cases=args.cases
+    )
+    print(
+        format_table(
+            header,
+            rows,
+            title=f"bench history: {len(entries)} snapshots "
+            f"(! = >{threshold:.0%} slowdown vs last recording)",
+        )
+    )
+    for record in regressions:
+        print(
+            f"regression: {record['case']} at {record['git_sha']} "
+            f"({record['taken_at']}): {record['prev_us_per_op']:.2f} -> "
+            f"{record['us_per_op']:.2f} us/op (x{record['ratio']:.2f})"
+        )
     return 0
 
 
@@ -921,6 +1307,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_compare(args)
     if args.command == "report":
         return _cmd_report(args)
+    if args.command == "metrics":
+        return _cmd_metrics(args)
+    if args.command == "bench-history":
+        return _cmd_bench_history(args)
     raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover
 
 

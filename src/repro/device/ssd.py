@@ -26,7 +26,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Callable, Deque, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Deque, Optional, Tuple
 
 import numpy as np
 
@@ -39,6 +39,9 @@ from repro.sim.engine import Simulator
 from repro.sim.events import Event, EventKind
 from repro.workloads.request import OpKind
 from repro.workloads.trace import Trace
+
+if TYPE_CHECKING:
+    from repro.obs.metrics import MetricsSnapshot
 
 #: Queued row: (arrival_us, op, lpn, npages, fps).
 _Row = Tuple[float, int, int, int, Optional[np.ndarray]]
@@ -58,6 +61,9 @@ class RunResult:
     simulated_us: float
     #: present when the device ran with a DRAM write buffer.
     buffer: Optional[WriteBufferStats] = None
+    #: present when the device ran with a metrics registry attached
+    #: (final values + columnar time series; see repro.obs.metrics).
+    metrics: Optional["MetricsSnapshot"] = None
 
     @property
     def blocks_erased(self) -> int:
@@ -78,10 +84,10 @@ class RunResult:
 class SSD:
     """One simulated SSD: a scheme plus the admission/service machinery.
 
-    ``tracer`` / ``telemetry`` / ``heartbeat`` are the optional
-    observers from :mod:`repro.obs`.  Each one costs exactly one
-    ``is not None`` test per request when absent — the default replay
-    path stays untouched.
+    ``tracer`` / ``telemetry`` / ``heartbeat`` / ``metrics`` are the
+    optional observers from :mod:`repro.obs`.  Each one costs exactly
+    one ``is not None`` test per request when absent — the default
+    replay path stays untouched.
     """
 
     def __init__(
@@ -91,6 +97,7 @@ class SSD:
         tracer=None,
         telemetry=None,
         heartbeat=None,
+        metrics=None,
         keep_samples: bool = True,
     ) -> None:
         self.scheme = scheme
@@ -148,6 +155,11 @@ class SSD:
         if telemetry is not None:
             self.hooks.add(self._telemetry_gc_snapshot)
         self.heartbeat = heartbeat
+        #: resolved-handle metrics bundle (repro.obs.metrics); binding
+        #: here registers every gauge against this scheme/buffer once.
+        self.metrics = metrics
+        if metrics is not None:
+            metrics.bind(self)
 
     # ------------------------------------------------------------------ hooks
 
@@ -191,6 +203,11 @@ class SSD:
         telemetry/heartbeat observers, per-page-hashing schemes) fall
         back to the reference loop below.
         """
+        if self.heartbeat is not None:
+            try:
+                self.heartbeat.expect(len(trace))
+            except TypeError:
+                pass  # streaming traces have no known length (no ETA)
         if self.scheme.config.kernel == "vectorized":
             from repro.kernel import kernel_eligible, replay_vectorized
 
@@ -207,9 +224,14 @@ class SSD:
                 self._destage_with_gc(remaining, self.sim.now)
         if self.telemetry is not None:
             self.telemetry.snapshot(max(self._gc_sample_us, self.sim.now), self)
+        if self.metrics is not None:
+            self.metrics.finish(self.sim.now, self)
         if self.heartbeat is not None:
             self.heartbeat.finish(
-                self.sim.now, self.sim.events_processed, self.requests_completed
+                self.sim.now,
+                self.sim.events_processed,
+                self.requests_completed,
+                gc_collects=self.scheme.gc_counters.gc_invocations,
             )
         return RunResult(
             scheme=self.scheme.name,
@@ -221,6 +243,7 @@ class SSD:
             wear=self.scheme.wear(),
             simulated_us=self.sim.now,
             buffer=self.buffer.stats if self.buffer is not None else None,
+            metrics=self.metrics.snapshot() if self.metrics is not None else None,
         )
 
     def state_snapshot(self):
@@ -269,9 +292,14 @@ class SSD:
         self.requests_completed += 1
         if self.telemetry is not None:
             self.telemetry.on_complete(self.sim.now, latency_us, self)
+        if self.metrics is not None:
+            self.metrics.on_complete(self.sim.now, latency_us, self)
         if self.heartbeat is not None:
             self.heartbeat.tick(
-                self.sim.now, self.sim.events_processed, self.requests_completed
+                self.sim.now,
+                self.sim.events_processed,
+                self.requests_completed,
+                gc_collects=self.scheme.gc_counters.gc_invocations,
             )
         if self._queue:
             self._start_service()
@@ -445,6 +473,7 @@ def run_trace(
     tracer=None,
     telemetry=None,
     heartbeat=None,
+    metrics=None,
     keep_samples: bool = True,
 ) -> RunResult:
     """Convenience wrapper: replay ``trace`` on a fresh SSD."""
@@ -453,5 +482,6 @@ def run_trace(
         tracer=tracer,
         telemetry=telemetry,
         heartbeat=heartbeat,
+        metrics=metrics,
         keep_samples=keep_samples,
     ).replay(trace)

@@ -80,10 +80,11 @@ def kernel_eligible(ssd: SSD, trace) -> bool:
     blocking foreground GC, no DRAM write buffer, and either a
     bulk-write scheme or the inline-dedupe scheme (whose foreground
     hash/lookup path has its own plan/apply kernel).  Post-GC hooks,
-    tracers, telemetry and heartbeats are supported — telemetry folds
-    per-batch with exact histogram counts, snapshots clock at batch
-    boundaries.  Anything else silently takes the reference event loop
-    under the same ``FTLScheme`` interface.
+    tracers, telemetry, metrics and heartbeats are supported —
+    telemetry and metrics fold per-batch with exact histogram counts,
+    snapshots/series samples clock at batch boundaries.  Anything else
+    silently takes the reference event loop under the same
+    ``FTLScheme`` interface.
     """
     scheme = ssd.scheme
     return (
@@ -109,6 +110,7 @@ def replay_vectorized(ssd: SSD, trace) -> RunResult:
     latency = ssd.latency
     tracer = ssd.tracer
     telemetry = ssd.telemetry
+    metrics = ssd.metrics
     heartbeat = ssd.heartbeat
     hot = Region.HOT
     inline = not scheme.bulk_user_writes  # eligibility: inline-dedupe
@@ -303,8 +305,15 @@ def replay_vectorized(ssd: SSD, trace) -> RunResult:
                 served = True
                 if telemetry is not None:
                     telemetry.on_batch(lat_batch, t, ssd)
+                if metrics is not None:
+                    metrics.on_batch(lat_batch, t, ssd)
                 if heartbeat is not None:
-                    heartbeat.tick(t, ssd.requests_completed, ssd.requests_completed)
+                    heartbeat.tick(
+                        t,
+                        ssd.requests_completed,
+                        ssd.requests_completed,
+                        gc_collects=scheme.gc_counters.gc_invocations,
+                    )
                 # Reads: counter-only effects.
                 seg_reads = (~is_write[i:e]).sum()  # no trims inside a run
                 if seg_reads:
@@ -372,8 +381,15 @@ def replay_vectorized(ssd: SSD, trace) -> RunResult:
     ssd.sim.now = t if served else ssd.sim.now
     if telemetry is not None:
         telemetry.snapshot(max(ssd._gc_sample_us, ssd.sim.now), ssd)
+    if metrics is not None:
+        metrics.finish(ssd.sim.now, ssd)
     if heartbeat is not None:
-        heartbeat.finish(ssd.sim.now, ssd.requests_completed, ssd.requests_completed)
+        heartbeat.finish(
+            ssd.sim.now,
+            ssd.requests_completed,
+            ssd.requests_completed,
+            gc_collects=scheme.gc_counters.gc_invocations,
+        )
     return RunResult(
         scheme=scheme.name,
         trace=trace.name,
@@ -384,6 +400,7 @@ def replay_vectorized(ssd: SSD, trace) -> RunResult:
         wear=scheme.wear(),
         simulated_us=ssd.sim.now,
         buffer=None,
+        metrics=metrics.snapshot() if metrics is not None else None,
     )
 
 
@@ -438,8 +455,16 @@ def _slow_request(
         # The reference completion event fires with the sim clock at
         # the completion time; the histogram/snapshot view matches.
         ssd.telemetry.on_complete(completion, completion - arrival, ssd)
+    if ssd.metrics is not None:
+        ssd.metrics.on_complete(completion, completion - arrival, ssd)
+        ssd.metrics.on_fallback(reason)
     if ssd.heartbeat is not None:
-        ssd.heartbeat.tick(completion, ssd.requests_completed, ssd.requests_completed)
+        ssd.heartbeat.tick(
+            completion,
+            ssd.requests_completed,
+            ssd.requests_completed,
+            gc_collects=scheme.gc_counters.gc_invocations,
+        )
     if tracer is not None:
         tracer.span(
             TRACK_KERNEL, "fallback", now, duration,

@@ -1,0 +1,122 @@
+"""Bench-history analysis: per-case µs/op trajectories across commits.
+
+``tools/bench_snapshot.py`` appends one JSON line per snapshot to
+``BENCH_history.jsonl`` — ``{"cases": {name: us_per_op},
+"git_sha", "python", "schema", "taken_at"}`` — which makes the file a
+small time series of the hot loop's cost per commit.  This module turns
+it into the ``cagc-repro bench-history`` view: the trajectory table and
+regression annotations using the same fractional-slowdown policy as
+``scripts/check_bench_regression.py`` (a case regresses when its µs/op
+exceeds the previous recorded value by more than the threshold).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+#: mirrors scripts/check_bench_regression.py's DEFAULT_THRESHOLD: the
+#: allowed fractional slowdown before a step is annotated.
+DEFAULT_THRESHOLD = 0.25
+
+#: history entries older than this schema carry incomparable cases.
+HISTORY_SCHEMA = 4
+
+
+def load_history(path: Path) -> List[dict]:
+    """Parse the JSONL history in append (chronological) order.
+
+    Blank lines are skipped; entries from other snapshot schemas are
+    dropped (their per-case numbers are not comparable).
+    """
+    entries: List[dict] = []
+    for line in Path(path).read_text().splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        entry = json.loads(line)
+        if entry.get("schema") == HISTORY_SCHEMA and "cases" in entry:
+            entries.append(entry)
+    return entries
+
+
+def case_names(entries: Sequence[dict]) -> List[str]:
+    """Union of case names over the history, sorted."""
+    names: Set[str] = set()
+    for entry in entries:
+        names.update(entry["cases"])
+    return sorted(names)
+
+
+def annotate_regressions(
+    entries: Sequence[dict], threshold: float = DEFAULT_THRESHOLD
+) -> Tuple[List[Set[str]], List[dict]]:
+    """Per-entry regressed-case sets plus flat annotation records.
+
+    A case regresses at an entry when its µs/op exceeds the most recent
+    earlier recording of the same case by more than ``threshold`` —
+    cases may appear and disappear across commits (new benchmarks), so
+    the comparison always uses the last value seen, not the immediately
+    preceding entry.
+    """
+    last: Dict[str, float] = {}
+    flags: List[Set[str]] = []
+    records: List[dict] = []
+    for entry in entries:
+        hit: Set[str] = set()
+        for case in sorted(entry["cases"]):
+            us = float(entry["cases"][case])
+            prev = last.get(case)
+            if prev is not None and us > prev * (1.0 + threshold):
+                hit.add(case)
+                records.append(
+                    {
+                        "git_sha": entry.get("git_sha", "?"),
+                        "taken_at": entry.get("taken_at", "?"),
+                        "case": case,
+                        "prev_us_per_op": prev,
+                        "us_per_op": us,
+                        "ratio": us / prev,
+                    }
+                )
+            last[case] = us
+        flags.append(hit)
+    return flags, records
+
+
+def history_rows(
+    entries: Sequence[dict],
+    threshold: float = DEFAULT_THRESHOLD,
+    cases: Optional[Sequence[str]] = None,
+) -> Tuple[Tuple[str, ...], List[tuple], List[dict]]:
+    """``(header, rows, regressions)`` for the trajectory table.
+
+    One row per history entry (chronological), one column per case;
+    regressed steps are marked with a trailing ``!``.
+    """
+    names = list(cases) if cases else case_names(entries)
+    flags, records = annotate_regressions(entries, threshold)
+    header = ("Commit", "Taken at") + tuple(names)
+    rows: List[tuple] = []
+    for entry, hit in zip(entries, flags):
+        cells = [entry.get("git_sha", "?"), entry.get("taken_at", "?")]
+        for case in names:
+            us = entry["cases"].get(case)
+            if us is None:
+                cells.append("-")
+            else:
+                cells.append(f"{us:.2f}" + ("!" if case in hit else ""))
+        rows.append(tuple(cells))
+    records = [r for r in records if r["case"] in names]
+    return header, rows, records
+
+
+__all__ = [
+    "DEFAULT_THRESHOLD",
+    "HISTORY_SCHEMA",
+    "annotate_regressions",
+    "case_names",
+    "history_rows",
+    "load_history",
+]

@@ -15,9 +15,17 @@ rest of the stack threads through:
 * :mod:`repro.obs.log` — the one logger the CLI and scripts share
   (``--quiet`` / ``--verbose``);
 * :class:`Heartbeat` (``repro.obs.heartbeat``) — wall-clock progress
-  lines (sim time, events/sec) to stderr for long replays;
+  lines (sim time, events/sec, rolling ops/s, GC collects, ETA) to
+  stderr for long replays;
 * :class:`HookMux` (``repro.obs.hooks``) — fan-out for ``SSD.gc_hook``
-  so oracle invariant checks and telemetry snapshots coexist.
+  so oracle invariant checks and telemetry snapshots coexist;
+* :class:`DeviceMetrics` / :class:`ArrayMetrics` (``repro.obs.metrics``)
+  — the unified metrics registry: typed Counter/Gauge/Histogram handles
+  resolved once at attach time, per-device/per-tenant label dimensions,
+  a simulated-time :class:`~repro.obs.series.TimeSeriesRecorder`, and
+  on top of it the exporters (``repro.obs.export``), declarative SLO
+  monitors with burn-rate evaluation (``repro.obs.slo``) and cross-run
+  regression diffing (``repro.obs.compare``).
 
 Every instrumentation site in the hot path is a single
 ``if tracer is not None`` predicated call, so a run without a tracer
@@ -25,8 +33,18 @@ pays one attribute test per site and nothing more — the property the
 ``benchguard`` overhead test pins against ``BENCH_throughput.json``.
 """
 
+from repro.obs.compare import compare_snapshots
+from repro.obs.export import prometheus_text, series_csv, series_jsonl
 from repro.obs.heartbeat import Heartbeat
 from repro.obs.hooks import HookMux
+from repro.obs.metrics import (
+    ArrayMetrics,
+    DeviceMetrics,
+    MetricsRegistry,
+    MetricsSnapshot,
+)
+from repro.obs.series import TimeSeriesRecorder
+from repro.obs.slo import SLObjective, default_objectives, evaluate_slos
 from repro.obs.telemetry import LatencyHistogram, RunTelemetry
 from repro.obs.trace import (
     TRACK_GC,
@@ -42,10 +60,22 @@ from repro.obs.trace import (
 )
 
 __all__ = [
+    "ArrayMetrics",
+    "DeviceMetrics",
     "Heartbeat",
     "HookMux",
     "LatencyHistogram",
+    "MetricsRegistry",
+    "MetricsSnapshot",
     "RunTelemetry",
+    "SLObjective",
+    "TimeSeriesRecorder",
+    "compare_snapshots",
+    "default_objectives",
+    "evaluate_slos",
+    "prometheus_text",
+    "series_csv",
+    "series_jsonl",
     "TRACK_GC",
     "TRACK_GC_READ",
     "TRACK_GC_WRITE",

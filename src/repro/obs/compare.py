@@ -1,0 +1,98 @@
+"""Cross-run regression diffing over two metrics snapshots.
+
+``report --compare RUN_A RUN_B`` resolves both runs through the cache,
+aligns their snapshots metric-by-metric, and renders the rows produced
+here: absolute and relative deltas for every final value, plus
+``max``/``mean`` aggregates of each time-series column (so a tail
+excursion that never moves the end-of-run aggregate — a transient GC
+spike — still shows up in the diff).  A row is *flagged* when its
+relative delta exceeds the threshold, or when the metric exists on only
+one side; comparing a run against itself flags nothing, which CI pins.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional
+
+from repro.obs.metrics import MetricsSnapshot
+
+#: default relative-delta flagging threshold — far tighter than the
+#: bench guard's 25% wall-clock bar because simulated metrics carry no
+#: timing noise: any drift is a behavioral change.
+DEFAULT_THRESHOLD = 0.05
+
+
+def _aligned_rows(
+    a: Dict[str, float], b: Dict[str, float]
+) -> List[Dict]:
+    rows: List[Dict] = []
+    names = list(a) + [name for name in b if name not in a]
+    for name in names:
+        in_a = name in a
+        in_b = name in b
+        va = a.get(name)
+        vb = b.get(name)
+        delta = (vb - va) if in_a and in_b else None
+        if delta is not None:
+            base = abs(va)
+            rel = (delta / base) if base > 0 else (0.0 if delta == 0.0 else math.inf)
+        else:
+            rel = None
+        rows.append(
+            {"metric": name, "a": va, "b": vb, "delta": delta, "rel": rel}
+        )
+    return rows
+
+
+def _series_aggregates(snapshot: MetricsSnapshot) -> Dict[str, float]:
+    aggregates: Dict[str, float] = {}
+    for name, column in snapshot.series.items():
+        if column.size == 0:
+            continue
+        aggregates[f"series:{name}:max"] = float(column.max())
+        aggregates[f"series:{name}:mean"] = float(column.mean())
+    return aggregates
+
+
+def compare_snapshots(
+    a: MetricsSnapshot,
+    b: MetricsSnapshot,
+    threshold: float = DEFAULT_THRESHOLD,
+    include_series: bool = True,
+) -> List[Dict]:
+    """Aligned per-metric delta rows, flagged against ``threshold``."""
+    values_a = dict(a.values)
+    values_b = dict(b.values)
+    if include_series:
+        values_a.update(_series_aggregates(a))
+        values_b.update(_series_aggregates(b))
+    rows = _aligned_rows(values_a, values_b)
+    for row in rows:
+        if row["delta"] is None:
+            row["flagged"] = True  # present on one side only
+        else:
+            row["flagged"] = bool(row["rel"] > threshold or row["rel"] < -threshold)
+    return rows
+
+
+def flagged(rows: List[Dict]) -> List[Dict]:
+    return [row for row in rows if row["flagged"]]
+
+
+def summarize(rows: List[Dict], threshold: float = DEFAULT_THRESHOLD) -> Dict:
+    hot = flagged(rows)
+    return {
+        "metrics": len(rows),
+        "flagged": len(hot),
+        "threshold": threshold,
+        "clean": not hot,
+    }
+
+
+__all__ = [
+    "DEFAULT_THRESHOLD",
+    "compare_snapshots",
+    "flagged",
+    "summarize",
+]

@@ -1,0 +1,88 @@
+"""Render a :class:`~repro.obs.metrics.MetricsSnapshot` for consumers.
+
+Two families:
+
+* :func:`prometheus_text` — OpenMetrics-style text snapshot of the
+  final values: one ``# TYPE`` line per metric family (counter for the
+  ``_total`` convention, gauge otherwise) followed by every sample in
+  registration order.  This is the scrape-shaped view.
+* :func:`series_jsonl` / :func:`series_csv` — the time series as one
+  record per simulated-time sample, columns exactly as the
+  :class:`~repro.obs.series.TimeSeriesRecorder` laid them out.
+
+All output is deterministic (ordering follows registration order, and
+floats are rendered with shortest-round-trip ``repr``), which is what
+lets the test suite pin golden files from a seeded run.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Iterator, List
+
+from repro.obs.metrics import MetricsSnapshot
+
+
+def format_value(value: float) -> str:
+    """Shortest deterministic rendering: integral floats lose the
+    trailing ``.0``, everything else is shortest-round-trip repr."""
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _family(sample: str) -> str:
+    return sample.split("{", 1)[0]
+
+
+def prometheus_text(snapshot: MetricsSnapshot) -> str:
+    """OpenMetrics-style text exposition of the final values."""
+    lines: List[str] = []
+    seen_families = set()
+    for sample, value in snapshot.values.items():
+        family = _family(sample)
+        if family not in seen_families:
+            seen_families.add(family)
+            kind = "counter" if family.endswith("_total") else "gauge"
+            lines.append(f"# TYPE {family} {kind}")
+        lines.append(f"{sample} {format_value(value)}")
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+def _series_rows(snapshot: MetricsSnapshot) -> Iterator[dict]:
+    columns = list(snapshot.series)
+    times = snapshot.times_us
+    for i in range(snapshot.samples):
+        row = {"t_us": float(times[i])}
+        for name in columns:
+            row[name] = float(snapshot.series[name][i])
+        yield row
+
+
+def series_jsonl(snapshot: MetricsSnapshot) -> str:
+    """Time series as JSON Lines, one sample per line."""
+    return "".join(
+        json.dumps(row, separators=(",", ":")) + "\n"
+        for row in _series_rows(snapshot)
+    )
+
+
+def series_csv(snapshot: MetricsSnapshot) -> str:
+    """Time series as CSV with a ``t_us``-first header row."""
+    out = io.StringIO()
+    writer = csv.writer(out, lineterminator="\n")
+    columns = list(snapshot.series)
+    writer.writerow(["t_us"] + columns)
+    times = snapshot.times_us
+    for i in range(snapshot.samples):
+        writer.writerow(
+            [format_value(float(times[i]))]
+            + [format_value(float(snapshot.series[name][i])) for name in columns]
+        )
+    return out.getvalue()
+
+
+__all__ = ["format_value", "prometheus_text", "series_csv", "series_jsonl"]

@@ -1,0 +1,161 @@
+"""Declarative SLO monitors over a metrics snapshot.
+
+An :class:`SLObjective` names either a *series* target (a windowed
+column of the time series, e.g. ``window_p99_us``: evaluated per
+simulated-time window with rolling burn-rate) or a *value* target (a
+final scalar, e.g. the ``cagc_waf`` gauge: a single end-of-run check).
+
+Burn-rate semantics follow the SRE convention: each objective carries
+an error *budget* — the fraction of windows allowed to violate the
+limit.  ``burn_rate`` is the worst observed rolling-window violation
+fraction divided by that budget, so 1.0 means the run consumed budget
+exactly as fast as allowed and anything above means the tail was
+burning hot.  The overall ``status`` is ``breach`` when the whole-run
+violation fraction exceeds the budget.
+
+:func:`gc_spike_annotations` closes the loop the paper cares about: it
+correlates each violating window with the GC activity inside it (delta
+of the sampled collect counter), so a p99 excursion is attributable to
+a collect event rather than eyeballed from two separate plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.obs.metrics import MetricsSnapshot
+
+
+@dataclass(frozen=True)
+class SLObjective:
+    """One declarative objective against a snapshot."""
+
+    name: str
+    #: series column (kind="series") or final-values key (kind="value").
+    target: str
+    #: violation when the observed value exceeds this.
+    limit: float
+    kind: str = "series"
+    #: allowed violating fraction of windows (the error budget).
+    budget: float = 0.01
+    #: rolling horizon, in samples, for burn-rate evaluation.
+    burn_window: int = 8
+
+
+def default_objectives(
+    p99_us: float = 500.0, p999_us: float = 2_000.0, waf: float = 4.0
+) -> List[SLObjective]:
+    """The stock latency + WAF objectives the CLI evaluates."""
+    return [
+        SLObjective("p99-latency", "window_p99_us", p99_us),
+        SLObjective("p999-latency", "window_p999_us", p999_us, budget=0.001),
+        SLObjective("waf", "cagc_waf", waf, kind="value", budget=0.0),
+    ]
+
+
+def _rolling_worst_fraction(violating: np.ndarray, window: int) -> float:
+    """Max violating fraction over any ``window`` consecutive samples."""
+    n = violating.size
+    if n == 0:
+        return 0.0
+    window = max(1, min(window, n))
+    hits = np.convolve(violating.astype(np.float64), np.ones(window), "valid")
+    return float(hits.max()) / window
+
+
+def evaluate_slo(snapshot: MetricsSnapshot, objective: SLObjective) -> Dict:
+    """One result row: worst value, violations, burn rate, status."""
+    if objective.kind == "value":
+        observed = float(snapshot.values.get(objective.target, 0.0))
+        violations = int(observed > objective.limit)
+        fraction = float(violations)
+        worst_rolling = fraction
+        windows = 1
+        worst = observed
+    else:
+        column = snapshot.series.get(objective.target)
+        if column is None or column.size == 0:
+            column = np.zeros(0)
+        violating = column > objective.limit
+        windows = int(column.size)
+        violations = int(violating.sum())
+        fraction = violations / windows if windows else 0.0
+        worst_rolling = _rolling_worst_fraction(violating, objective.burn_window)
+        worst = float(column.max()) if windows else 0.0
+    budget = objective.budget
+    burn_rate = worst_rolling / budget if budget > 0 else float(violations)
+    status = "breach" if fraction > budget else "ok"
+    return {
+        "objective": objective.name,
+        "target": objective.target,
+        "kind": objective.kind,
+        "limit": objective.limit,
+        "worst": worst,
+        "windows": windows,
+        "violations": violations,
+        "violation_fraction": fraction,
+        "budget": budget,
+        "burn_rate": burn_rate,
+        "status": status,
+    }
+
+
+def evaluate_slos(
+    snapshot: MetricsSnapshot, objectives: Optional[List[SLObjective]] = None
+) -> List[Dict]:
+    if objectives is None:
+        objectives = default_objectives()
+    return [evaluate_slo(snapshot, objective) for objective in objectives]
+
+
+#: sampled collect counters, in preference order, used to attribute a
+#: tail excursion to GC activity inside the same window.
+_GC_COLUMNS = (
+    "cagc_gc_invocations_total",
+    "cagc_gc_blocks_erased_total",
+)
+
+
+def gc_spike_annotations(
+    snapshot: MetricsSnapshot,
+    column: str = "window_p99_us",
+    limit: float = 500.0,
+) -> List[Dict]:
+    """Annotate every window where ``column`` exceeds ``limit`` with the
+    GC collects that landed inside it."""
+    series = snapshot.series.get(column)
+    if series is None or series.size == 0:
+        return []
+    gc_column = None
+    for name in _GC_COLUMNS:
+        if name in snapshot.series:
+            gc_column = snapshot.series[name]
+            break
+    annotations: List[Dict] = []
+    for i in np.flatnonzero(series > limit):
+        i = int(i)
+        gc_delta = 0.0
+        if gc_column is not None:
+            prev = float(gc_column[i - 1]) if i > 0 else 0.0
+            gc_delta = float(gc_column[i]) - prev
+        annotations.append(
+            {
+                "t_us": float(snapshot.times_us[i]),
+                "value": float(series[i]),
+                "gc_delta": gc_delta,
+                "correlated": gc_delta > 0.0,
+            }
+        )
+    return annotations
+
+
+__all__ = [
+    "SLObjective",
+    "default_objectives",
+    "evaluate_slo",
+    "evaluate_slos",
+    "gc_spike_annotations",
+]

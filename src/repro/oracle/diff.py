@@ -265,6 +265,7 @@ def diff_kernels(
     policy: str = "greedy",
     config: Optional[SSDConfig] = None,
     telemetry: bool = False,
+    metrics: bool = False,
 ) -> Optional[Divergence]:
     """Replay ``trace`` under ``kernel=reference`` and
     ``kernel=vectorized`` and return the first observable difference.
@@ -281,6 +282,13 @@ def diff_kernels(
     both replays (the vectorized path folds it per batch) and the
     resulting latency histograms are diffed too — counts, total, sum
     and max must match bit-exactly.
+
+    With ``metrics=True`` a ``DeviceMetrics`` bundle is attached to
+    both replays and the kernel-independent aggregates are diffed: the
+    request counter and the latency histogram's counts/total/sum/max.
+    Time-series sample counts and the batch counters are deliberately
+    *not* compared — the two kernels clock the sampler differently
+    (per completion vs per batch boundary) by design.
     """
     import numpy as np
 
@@ -295,6 +303,7 @@ def diff_kernels(
     results = {}
     snapshots = {}
     observers = {}
+    meters = {}
     for kernel in ("reference", "vectorized"):
         cfg = _dc_replace(config, kernel=kernel)
         observer = None
@@ -303,7 +312,13 @@ def diff_kernels(
 
             observer = RunTelemetry(snapshot_every_us=500.0)
         observers[kernel] = observer
-        ssd = SSD(build_scheme(scheme, policy, cfg), telemetry=observer)
+        meter = None
+        if metrics:
+            from repro.obs.metrics import DeviceMetrics
+
+            meter = DeviceMetrics()
+        meters[kernel] = meter
+        ssd = SSD(build_scheme(scheme, policy, cfg), telemetry=observer, metrics=meter)
         try:
             results[kernel] = ssd.replay(trace)
             check_all(ssd)
@@ -363,5 +378,22 @@ def diff_kernels(
             if ra != rb:
                 return Divergence(
                     -1, "telemetry", f"{label}: {ra!r} != {rb!r}", scheme, policy
+                )
+    if metrics:
+        rm, vm = meters["reference"], meters["vectorized"]
+        rh, vh = rm.latency.hist, vm.latency.hist
+        if not np.array_equal(rh.counts, vh.counts):
+            return Divergence(
+                -1, "metrics", "latency histogram bucket counts differ", scheme, policy
+            )
+        for label, ra, rb in (
+            ("requests counter", rm.requests.value, vm.requests.value),
+            ("hist total", rh.total, vh.total),
+            ("hist sum_us", rh.sum_us, vh.sum_us),
+            ("hist max_us", rh.max_us, vh.max_us),
+        ):
+            if ra != rb:
+                return Divergence(
+                    -1, "metrics", f"{label}: {ra!r} != {rb!r}", scheme, policy
                 )
     return None

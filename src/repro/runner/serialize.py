@@ -31,7 +31,8 @@ from repro.ftl.wear import WearStats
 #: Bump on any incompatible change to the stored result layout.
 #: v2: GCCounters gained per-phase busy-time fields (gc_read_us, ...).
 #: v3: array results (kind="array": per-device results + SLO histograms).
-SCHEMA_VERSION = 3
+#: v4: optional metrics snapshot (final values + columnar time series).
+SCHEMA_VERSION = 4
 
 
 class SchemaMismatchError(RuntimeError):
@@ -75,6 +76,45 @@ def _run_result_from(meta: dict, samples: np.ndarray):
     )
 
 
+def _metrics_meta(snapshot) -> Optional[dict]:
+    """JSON side of a metrics snapshot (floats round-trip exactly);
+    the series columns are named here and stored as npz arrays —
+    ``metrics_col_{i}`` — because sample ids carry characters (braces,
+    quotes) that do not belong in zip member names."""
+    if snapshot is None:
+        return None
+    return {
+        "values": snapshot.values,
+        "interval_us": snapshot.interval_us,
+        "columns": list(snapshot.series),
+    }
+
+
+def _metrics_arrays(snapshot) -> dict:
+    if snapshot is None:
+        return {}
+    arrays = {"metrics_times_us": np.ascontiguousarray(snapshot.times_us)}
+    for i, name in enumerate(snapshot.series):
+        arrays[f"metrics_col_{i}"] = np.ascontiguousarray(snapshot.series[name])
+    return arrays
+
+
+def _metrics_from_archive(meta: Optional[dict], archive):
+    if meta is None:
+        return None
+    from repro.obs.metrics import MetricsSnapshot
+
+    return MetricsSnapshot(
+        values=meta["values"],
+        times_us=archive["metrics_times_us"].copy(),
+        series={
+            name: archive[f"metrics_col_{i}"].copy()
+            for i, name in enumerate(meta["columns"])
+        },
+        interval_us=meta["interval_us"],
+    )
+
+
 def result_to_bytes(result) -> bytes:
     """Serialize a ``RunResult`` or ``ArrayResult`` to ``.npz`` bytes."""
     from repro.array.device import ArrayResult
@@ -82,11 +122,13 @@ def result_to_bytes(result) -> bytes:
     if isinstance(result, ArrayResult):
         return _array_result_to_bytes(result)
     meta = {"schema": SCHEMA_VERSION, "kind": "run", **_run_result_meta(result)}
+    meta["metrics"] = _metrics_meta(result.metrics)
     buf = io.BytesIO()
     np.savez_compressed(
         buf,
         response_times_us=np.ascontiguousarray(result.response_times_us),
         meta=np.frombuffer(json.dumps(meta).encode("utf-8"), dtype=np.uint8),
+        **_metrics_arrays(result.metrics),
     )
     return buf.getvalue()
 
@@ -105,6 +147,7 @@ def _array_result_to_bytes(result) -> bytes:
         "coord_stats": result.coord_stats,
         "kernel_fallback_reason": result.kernel_fallback_reason,
         "devices": [_run_result_meta(r) for r in result.devices],
+        "metrics": _metrics_meta(result.metrics),
     }
     arrays = {
         f"device_{i}_response_times_us": np.ascontiguousarray(
@@ -112,6 +155,7 @@ def _array_result_to_bytes(result) -> bytes:
         )
         for i, r in enumerate(result.devices)
     }
+    arrays.update(_metrics_arrays(result.metrics))
     for family, packed in result.telemetry.to_arrays().items():
         for field, values in packed.items():
             arrays[f"tele_{family}_{field}"] = np.ascontiguousarray(values)
@@ -135,7 +179,13 @@ def result_from_bytes(payload: bytes):
         if meta.get("kind", "run") == "array":
             return _array_result_from_archive(meta, archive)
         samples = archive["response_times_us"].copy()
-    return _run_result_from(meta, samples)
+        metrics = _metrics_from_archive(meta.get("metrics"), archive)
+    result = _run_result_from(meta, samples)
+    if metrics is not None:
+        import dataclasses as dc
+
+        result = dc.replace(result, metrics=metrics)
+    return result
 
 
 def _array_result_from_archive(meta: dict, archive):
@@ -169,4 +219,5 @@ def _array_result_from_archive(meta: dict, archive):
         ncq_held=tuple(meta["ncq_held"]),
         coord_stats=meta["coord_stats"],
         kernel_fallback_reason=meta["kernel_fallback_reason"],
+        metrics=_metrics_from_archive(meta.get("metrics"), archive),
     )

@@ -113,6 +113,49 @@ class RunSpec:
             )
         return base + (f" [{'; '.join(extras)}]" if extras else "")
 
+    @classmethod
+    def parse(cls, text: str, **kwargs: Any) -> "RunSpec":
+        """Inverse of the base :meth:`label` form.
+
+        Accepts ``workload[/scheme[/policy]][@scale][#seed]`` — the part
+        of the label before any ``[extras]`` — so CLI surfaces like
+        ``report --compare`` can name cached runs the same way reports
+        print them.  Extras (overrides, array shape) are not parseable
+        from the label; pass them as ``kwargs`` / CLI flags instead.
+        """
+        base = text.strip()
+        if "[" in base or " " in base:
+            raise ValueError(
+                f"run label {text!r} carries extras; pass overrides/array "
+                "shape as explicit flags instead"
+            )
+        seed = 0
+        if "#" in base:
+            base, seed_text = base.rsplit("#", 1)
+            seed = int(seed_text)
+        scale = "bench"
+        if "@" in base:
+            base, scale = base.rsplit("@", 1)
+        parts = base.split("/")
+        if len(parts) == 2:
+            workload, scheme = parts
+            policy = "greedy"
+        elif len(parts) == 3:
+            workload, scheme, policy = parts
+        else:
+            raise ValueError(
+                f"run label {text!r} is not workload/scheme[/policy]"
+                "[@scale][#seed]"
+            )
+        return cls(
+            workload=workload,
+            scheme=scheme,
+            policy=policy,
+            seed=seed,
+            scale=scale,
+            **kwargs,
+        )
+
     # ------------------------------------------------------------ execution
 
     def _build_config(self, sc):
@@ -163,20 +206,33 @@ class RunSpec:
             placement = NeverColdPlacement(config)
         return CAGCScheme(config, policy=policy, placement=placement, **options)
 
-    def execute(self, tracer=None, telemetry=None, heartbeat=None, keep_samples=True):
+    def execute(
+        self,
+        tracer=None,
+        telemetry=None,
+        heartbeat=None,
+        metrics="auto",
+        keep_samples=True,
+    ):
         """Run the simulation described by this spec (no caching).
 
         Mirrors the historical ``gc_efficiency_result`` construction
         exactly: ``seed=0`` replays the preset's canonical trace, other
         seeds draw an independent trace with the same characteristics.
 
-        ``tracer``/``telemetry``/``heartbeat`` attach :mod:`repro.obs`
-        observers to the replay (observers never enter the cache key:
-        they must not — and by construction cannot — change the
-        simulated outcome, only record it).  ``keep_samples=False``
-        switches latency capture to the constant-memory histogram
-        (``response_times_us`` comes back empty); use it for large-scale
-        runs where O(requests) sample storage dominates RSS.
+        ``tracer``/``telemetry``/``heartbeat``/``metrics`` attach
+        :mod:`repro.obs` observers to the replay (observers never enter
+        the cache key: they must not — and by construction cannot —
+        change the simulated outcome, only record it).  ``metrics``
+        defaults to ``"auto"``: a stock
+        :class:`~repro.obs.metrics.DeviceMetrics` (or ``ArrayMetrics``
+        for array specs) is attached, so every cached result carries a
+        metrics snapshot for the ``metrics``/``report --compare`` CLI
+        surfaces; pass ``None`` to run bare or a pre-built bundle to
+        control the registry/interval.  ``keep_samples=False`` switches
+        latency capture to the constant-memory histogram
+        (``response_times_us`` comes back empty); use it for
+        large-scale runs where O(requests) sample storage dominates RSS.
         """
         # Imported lazily: repro.experiments.common itself builds on the
         # runner, so a module-level import would be circular.
@@ -186,10 +242,21 @@ class RunSpec:
         sc = get_scale(self.scale)
         config = self._build_config(sc)
         if self.array_devices:
+            if metrics == "auto":
+                from repro.obs.metrics import ArrayMetrics
+
+                metrics = ArrayMetrics()
             return self._execute_array(
                 sc, config, tracer=tracer, heartbeat=heartbeat,
-                keep_samples=keep_samples,
+                metrics=metrics, keep_samples=keep_samples,
             )
+        if metrics == "auto":
+            if self.device == "single":
+                from repro.obs.metrics import DeviceMetrics
+
+                metrics = DeviceMetrics()
+            else:
+                metrics = None  # ParallelSSD does not take observers
         trace = sc.trace(
             self.workload,
             config,
@@ -209,10 +276,13 @@ class RunSpec:
             tracer=tracer,
             telemetry=telemetry,
             heartbeat=heartbeat,
+            metrics=metrics,
             keep_samples=keep_samples,
         )
 
-    def _execute_array(self, sc, config, tracer, heartbeat, keep_samples):
+    def _execute_array(
+        self, sc, config, tracer, heartbeat, metrics, keep_samples
+    ):
         """Array branch of :meth:`execute`: returns an ``ArrayResult``.
 
         Each tenant draws an independent trace of the same workload
@@ -256,6 +326,7 @@ class RunSpec:
             ncq_depth=self.ncq_depth,
             tracer=tracer,
             heartbeat=heartbeat,
+            metrics=metrics,
             keep_samples=keep_samples,
         ).replay(merged)
 

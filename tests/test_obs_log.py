@@ -81,6 +81,43 @@ class TestHeartbeat:
         with pytest.raises(ValueError):
             Heartbeat(interval_s=-1.0)
 
+    def test_tick_line_carries_ops_gc_and_eta(self):
+        stream = io.StringIO()
+        hb = Heartbeat(interval_s=0.0, stream=stream)
+        hb.expect(100)
+        hb.tick(1_000_000.0, events=10, requests=5, gc_collects=3)
+        line = stream.getvalue().splitlines()[0]
+        assert "ops/s" in line
+        assert "gc 3" in line
+        assert "eta" in line and "eta     -" not in line
+
+    def test_eta_is_dash_without_expected_total(self):
+        stream = io.StringIO()
+        hb = Heartbeat(interval_s=0.0, stream=stream)
+        hb.tick(1_000_000.0, events=10, requests=5)
+        assert "eta     -" in stream.getvalue()
+
+    def test_finish_line_carries_gc_count(self):
+        stream = io.StringIO()
+        hb = Heartbeat(interval_s=3600.0, stream=stream)
+        hb.finish(5_000_000.0, events=1234, requests=600, gc_collects=7)
+        out = stream.getvalue()
+        assert "done" in out and "gc 7" in out
+
+    def test_replay_feeds_expected_total_and_gc(self):
+        from repro.config import small_config
+        from repro.device.ssd import run_trace
+        from repro.schemes import make_scheme
+        from repro.workloads.fiu import build_fiu_trace
+
+        cfg = small_config(blocks=64, pages_per_block=16, kernel="reference")
+        trace = build_fiu_trace("homes", cfg, n_requests=50)
+        stream = io.StringIO()
+        hb = Heartbeat(interval_s=0.0, stream=stream)
+        run_trace(make_scheme("baseline", cfg), trace, heartbeat=hb)
+        assert hb.total_requests == len(trace)  # replay() declared it
+        assert "gc " in stream.getvalue()
+
     def test_device_drives_heartbeat(self):
         from repro.config import small_config
         from repro.device.ssd import run_trace
