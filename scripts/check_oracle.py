@@ -37,6 +37,7 @@ from repro.oracle import (  # noqa: E402
     ALL_SCHEMES,
     ARRAY_DEVICE_COUNTS,
     diff_array,
+    diff_array_kernels,
     diff_kernels,
     diff_trace,
     fuzz_config,
@@ -82,9 +83,9 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--metrics",
         action="store_true",
-        help="attach a DeviceMetrics bundle to both replay paths and diff "
-        "the request counter and latency histogram aggregates too "
-        "(kernel-equivalence mode only)",
+        help="attach a DeviceMetrics (or ArrayMetrics, with --array) bundle "
+        "to both replay paths and diff the request counter and latency "
+        "histogram aggregates too (kernel-equivalence mode only)",
     )
     parser.add_argument(
         "--array",
@@ -118,18 +119,36 @@ def main(argv=None) -> int:
                 devices,
                 len(trace),
             )
+            # With --kernel-equivalence the array sweep diffs the epoch
+            # kernel against the reference array loop instead of the
+            # naive oracle; rotate the NCQ depth so both the analytic
+            # occupancy counters and the scalar admission-gate replay
+            # get exercised.
+            ncq_depth = (2, 4, 8, 32)[seed % 4]
             for scheme in args.schemes:
                 for policy in args.policies:
                     for coordination in COORDINATIONS:
                         runs += 1
-                        divergence = diff_array(
-                            trace,
-                            devices=devices,
-                            scheme=scheme,
-                            policy=policy,
-                            config=config,
-                            coordination=coordination,
-                        )
+                        if args.kernel_equivalence:
+                            divergence = diff_array_kernels(
+                                trace,
+                                devices=devices,
+                                scheme=scheme,
+                                policy=policy,
+                                config=config,
+                                coordination=coordination,
+                                ncq_depth=ncq_depth,
+                                metrics=args.metrics,
+                            )
+                        else:
+                            divergence = diff_array(
+                                trace,
+                                devices=devices,
+                                scheme=scheme,
+                                policy=policy,
+                                config=config,
+                                coordination=coordination,
+                            )
                         if divergence is None:
                             continue
                         failures += 1

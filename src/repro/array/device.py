@@ -46,9 +46,13 @@ from repro.sim.engine import Simulator
 from repro.sim.events import Event, EventKind
 from repro.workloads.trace import Trace
 
-#: tag recorded when ``config.kernel == "vectorized"`` is requested but
-#: the array must run the reference event loop (device interleaving on
-#: the shared clock is inherently event-driven).
+#: Legacy wholesale-fallback tag from before the epoch-batched array
+#: kernel (``repro.kernel.arrayepoch``) existed; kept only so old
+#: serialized results remain readable.  Live vectorized replays either
+#: run the epoch kernel (``kernel_fallback_reason`` stays ``None``) or
+#: tag one of its reasons (``array-unmodelled`` wholesale;
+#: ``array-coord-grant`` / ``array-ncq-stall`` per-epoch in the trace
+#: attribution).
 ARRAY_KERNEL_FALLBACK = "array-event-loop"
 
 
@@ -76,6 +80,10 @@ class ArrayResult:
     #: present when the array ran with an ArrayMetrics registry
     #: attached (global + per-device/per-tenant labeled families).
     metrics: Optional[object] = None
+    #: per-device ``kernel_gc_stats`` dicts (batched-vs-scalar collect
+    #: outcomes) when the epoch kernel replayed the array; empty on the
+    #: reference loop.
+    kernel_gc: Tuple[Dict[str, int], ...] = ()
 
     def __len__(self) -> int:
         return len(self.devices)
@@ -126,6 +134,9 @@ class _ArrayLane(SSD):
         self.ncq_peak = 0
         self.ncq_held = 0
         self.rows_done = False
+        #: set to the epoch runner while the vectorized array kernel
+        #: drives this lane (idle-burst completions route to it).
+        self._epoch = None
 
     @property
     def busy(self) -> bool:
@@ -231,6 +242,12 @@ class _ArrayLane(SSD):
         self.last_event_us = self.sim.now
         if self._coord is not None:
             self._coord.on_collection_done(self, self.sim.now)
+        if self._epoch is not None:
+            # Epoch-kernel mode keeps no event-queue rows; the runner
+            # owns the queue-or-idle decision the inherited handler
+            # would make.
+            self._epoch.on_bg_gc_done(self)
+            return
         super()._on_bg_gc_done(event)
 
     # ------------------------------------------------------- lifecycle
@@ -325,19 +342,6 @@ class SSDArray:
     def replay(self, trace: Trace) -> ArrayResult:
         """Split ``trace`` across the lanes and run the shared clock dry."""
         config = self.lanes[0].scheme.config
-        if config.kernel == "vectorized":
-            # Device interleaving on a shared clock is inherently
-            # event-driven; the batched kernels model one device.  Tag
-            # the fallback so kernel-matrix CI can tell "reference on
-            # purpose" from "silently slow".
-            self.kernel_fallback_reason = ARRAY_KERNEL_FALLBACK
-            if self.tracer is not None:
-                self.tracer.instant(
-                    TRACK_ARRAY,
-                    "kernel-fallback",
-                    0.0,
-                    reason=ARRAY_KERNEL_FALLBACK,
-                )
         placements = getattr(trace, "placements", None)
         tenant_ids = getattr(trace, "tenant_ids", None)
         if placements is not None:
@@ -349,6 +353,26 @@ class SSDArray:
         self.telemetry = ArrayTelemetry(self.devices, tenants)
         if self.metrics is not None:
             self.metrics.bind_array(self, self.devices, tenants)
+        if config.kernel == "vectorized":
+            from repro.kernel.arrayepoch import (
+                array_kernel_eligible,
+                replay_array_vectorized,
+            )
+
+            reason = array_kernel_eligible(self, trace)
+            if reason is None:
+                return replay_array_vectorized(self, trace, tenants)
+            # Something in the replay is outside the epoch model; run
+            # the reference loop and tag the fallback so kernel-matrix
+            # CI can tell "reference on purpose" from "silently slow".
+            self.kernel_fallback_reason = reason
+            if self.tracer is not None:
+                self.tracer.instant(
+                    TRACK_ARRAY,
+                    "kernel-fallback",
+                    0.0,
+                    reason=reason,
+                )
         if self.heartbeat is not None:
             try:
                 self.heartbeat.expect(len(trace))

@@ -769,6 +769,18 @@ def _array_report_rows(result) -> List[tuple]:
                     f"{hist.percentile(99.9):.0f}us",
                 )
             )
+    # Per-device batched-vs-scalar CAGC collect outcomes, present only
+    # when the epoch kernel replayed the array.
+    for device, stats in enumerate(getattr(result, "kernel_gc", ()) or ()):
+        if stats and any(stats.values()):
+            rows.append(
+                (
+                    f"device {device} kernel GC",
+                    ", ".join(
+                        f"{key}={count}" for key, count in stats.items() if count
+                    ),
+                )
+            )
     return rows
 
 
@@ -819,6 +831,36 @@ def _simulate_array(args, config) -> int:
     if tracer is not None:
         _write_trace(tracer, None, args)
     rows = _array_report_rows(result)
+    if config.kernel == "vectorized":
+        reason = result.kernel_fallback_reason
+        if reason is not None:
+            rows.append(("kernel fallback", reason))
+        if tracer is not None:
+            attr = tracer.kernel_attribution()
+            rows.append(
+                (
+                    "kernel batches",
+                    f"{attr['batches']:.0f} "
+                    f"(mean {attr['mean_batch_requests']:.0f} reqs)",
+                )
+            )
+            rows.append(("kernel fallback rate", f"{attr['fallback_rate']:.2%}"))
+            for key in sorted(attr):
+                if key.startswith("fallback_requests["):
+                    rows.append((f"kernel {key}", f"{attr[key]:.0f}"))
+            if reason is not None or (
+                attr["fallback_requests"] and attr["fallback_rate"] >= 1.0
+            ):
+                log.warning(
+                    "100%% of requests fell back to the reference array "
+                    "loop (%s)",
+                    reason or "per-request fallback",
+                )
+        elif reason is not None:
+            log.warning(
+                "100%% of requests fell back to the reference array loop (%s)",
+                reason,
+            )
     rows.append(("wall time", f"{wall:.2f}s"))
     print(
         format_table(

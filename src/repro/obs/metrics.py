@@ -507,6 +507,15 @@ class ArrayMetrics(DeviceMetrics):
             self._bound = True
             self.requests = reg.counter(f"{PREFIX}_requests_total")
             self.latency = reg.histogram(f"{PREFIX}_request_latency_us")
+            self.kernel_batches = reg.counter(
+                f"{PREFIX}_kernel_batches_total"
+            )
+            self.kernel_batched_requests = reg.counter(
+                f"{PREFIX}_kernel_batched_requests_total"
+            )
+            self.kernel_fallbacks = reg.counter_vec(
+                f"{PREFIX}_kernel_fallback_requests_total", "reason"
+            )
             self.recorder.bind(reg, window_hist=self.latency.hist)
         self.device_requests = reg.counter_vec(
             f"{PREFIX}_requests_total", "device"
@@ -567,6 +576,38 @@ class ArrayMetrics(DeviceMetrics):
         recorder = self.recorder
         if now_us >= recorder.next_due_us:
             recorder.sample(now_us)
+
+    def on_array_batch(
+        self,
+        device: int,
+        tenant_ids: np.ndarray,
+        latencies_us: np.ndarray,
+        end_us: float,
+    ) -> None:
+        """Batch-folded form for the epoch array kernel: one device's
+        run of completions with their per-request tenant ids.
+
+        Counter increments and histogram bucket counts are exact
+        (``record_many`` is a fold of the same per-sample updates);
+        the time-series recorder clocks at batch boundaries, the same
+        deliberate cadence difference the single-device kernel has.
+        """
+        n = latencies_us.size
+        if not n:
+            return
+        self.requests.value += float(n)
+        self.latency.hist.record_many(latencies_us)
+        self.kernel_batches.value += 1.0
+        self.kernel_batched_requests.value += float(n)
+        self._device_req[device].value += float(n)
+        self._device_hist[device].record_many(latencies_us)
+        for tenant in np.unique(tenant_ids):
+            mask = tenant_ids == tenant
+            self._tenant_req[int(tenant)].value += float(mask.sum())
+            self._tenant_hist[int(tenant)].record_many(latencies_us[mask])
+        recorder = self.recorder
+        if end_us >= recorder.next_due_us:
+            recorder.sample(end_us)
 
 
 __all__ = [

@@ -35,6 +35,7 @@ from repro.oracle.arraydiff import (
     ARRAY_DEVICE_COUNTS,
     array_pages_per_device,
     diff_array,
+    diff_array_kernels,
     make_array_divergence_predicate,
 )
 from repro.oracle.fuzz import PROFILES, fuzz_config, fuzz_trace
@@ -54,6 +55,7 @@ __all__ = [
     "ARRAY_DEVICE_COUNTS",
     "array_pages_per_device",
     "diff_array",
+    "diff_array_kernels",
     "make_array_divergence_predicate",
     "PROFILES",
     "fuzz_config",

@@ -121,6 +121,244 @@ def diff_array(
     return None
 
 
+def diff_array_kernels(
+    trace: Trace,
+    devices: int = 4,
+    scheme: str = "cagc",
+    policy: str = "greedy",
+    config: Optional[SSDConfig] = None,
+    coordination: str = "independent",
+    ncq_depth: int = 8,
+    metrics: bool = False,
+) -> Optional[Divergence]:
+    """Replay ``trace`` on a ``kernel=reference`` array and a
+    ``kernel=vectorized`` one and return the first observable
+    difference; ``None`` when the epoch kernel is bit-identical.
+
+    The array counterpart of :func:`repro.oracle.diff.diff_kernels`:
+    per-device response-time trajectories, GC/IO/wear counters,
+    simulated time, state snapshots and NCQ admission counters must all
+    match exactly, as must the coordinator's stats.  The always-on
+    :class:`~repro.array.telemetry.ArrayTelemetry` histograms are held
+    to exact bucket counts / totals / maxima; ``sum_us`` is compared to
+    a relative tolerance because the epoch kernel folds each batch with
+    a vectorized summation whose float addition order differs from the
+    reference loop's one-at-a-time accumulation.
+
+    With ``metrics=True`` an :class:`~repro.obs.metrics.ArrayMetrics`
+    bundle is attached to both replays and the kernel-independent
+    aggregates are diffed: the global request counter and latency
+    histogram plus every per-device and per-tenant child.  Time-series
+    sample counts and the batch/fallback counters are deliberately
+    *not* compared — the two kernels clock the sampler differently
+    (per completion vs per batch boundary) by design.
+    """
+    import math
+
+    import numpy as np
+
+    from dataclasses import replace as _dc_replace
+
+    from repro.array import SSDArray
+
+    if config is None:
+        config = fuzz_config()
+    pages_per_device = array_pages_per_device(config, devices)
+    results = {}
+    snapshots = {}
+    meters = {}
+    for kernel in ("reference", "vectorized"):
+        cfg = _dc_replace(config, kernel=kernel)
+        schemes = [build_scheme(scheme, policy, cfg) for _ in range(devices)]
+        meter = None
+        if metrics:
+            from repro.obs.metrics import ArrayMetrics
+
+            meter = ArrayMetrics()
+        meters[kernel] = meter
+        array = SSDArray(
+            schemes,
+            coordination=coordination,
+            ncq_depth=ncq_depth,
+            pages_per_device=pages_per_device,
+            metrics=meter,
+        )
+        try:
+            results[kernel] = array.replay(trace)
+            for lane in array.lanes:
+                check_all(lane)
+        except AssertionError as exc:
+            return Divergence(-1, "invariant", f"[{kernel}] {exc}", scheme, policy)
+        except Exception as exc:
+            return Divergence(
+                -1,
+                "exception",
+                f"[{kernel}] {type(exc).__name__}: {exc}",
+                scheme,
+                policy,
+            )
+        snapshots[kernel] = [lane.state_snapshot() for lane in array.lanes]
+    ref, vec = results["reference"], results["vectorized"]
+    for device in range(devices):
+        rd, vd = ref.devices[device], vec.devices[device]
+        a, b = rd.response_times_us, vd.response_times_us
+        if len(a) != len(b):
+            return Divergence(
+                -1,
+                "state",
+                f"device {device} [{coordination}]: recorded "
+                f"{len(a)} vs {len(b)} response times",
+                scheme,
+                policy,
+            )
+        if not np.array_equal(a, b):
+            first = int(np.argmax(np.asarray(a) != np.asarray(b)))
+            return Divergence(
+                first,
+                "state",
+                f"device {device} [{coordination}]: response time "
+                f"{a[first]!r} (reference) vs {b[first]!r} (vectorized)",
+                scheme,
+                policy,
+            )
+        for label, ra, rb in (
+            ("simulated_us", rd.simulated_us, vd.simulated_us),
+            ("gc counters", rd.gc, vd.gc),
+            ("io counters", rd.io, vd.io),
+            ("wear", rd.wear, vd.wear),
+            ("ncq peak", ref.ncq_peaks[device], vec.ncq_peaks[device]),
+            ("ncq held", ref.ncq_held[device], vec.ncq_held[device]),
+            (
+                "state snapshot",
+                snapshots["reference"][device],
+                snapshots["vectorized"][device],
+            ),
+        ):
+            if ra != rb:
+                return Divergence(
+                    -1,
+                    "state",
+                    f"device {device} [{coordination}]: {label}: "
+                    f"{ra!r} != {rb!r}",
+                    scheme,
+                    policy,
+                )
+    for label, ra, rb in (
+        ("simulated_us", ref.simulated_us, vec.simulated_us),
+        ("coord stats", ref.coord_stats, vec.coord_stats),
+        ("tenants", ref.tenants, vec.tenants),
+    ):
+        if ra != rb:
+            return Divergence(
+                -1,
+                "state",
+                f"[{coordination}] {label}: {ra!r} != {rb!r}",
+                scheme,
+                policy,
+            )
+    rt, vt = ref.telemetry, vec.telemetry
+    pairs = [("array", rt.hist, vt.hist)]
+    pairs += [
+        (f"device {i}", rh, vh)
+        for i, (rh, vh) in enumerate(zip(rt.device_hists, vt.device_hists))
+    ]
+    pairs += [
+        (f"tenant {i}", rh, vh)
+        for i, (rh, vh) in enumerate(zip(rt.tenant_hists, vt.tenant_hists))
+    ]
+    for label, rh, vh in pairs:
+        if not np.array_equal(rh.counts, vh.counts):
+            return Divergence(
+                -1,
+                "telemetry",
+                f"{label} histogram bucket counts differ",
+                scheme,
+                policy,
+            )
+        exact = (
+            ("hist total", rh.total, vh.total),
+            ("hist max_us", rh.max_us, vh.max_us),
+        )
+        for sub, ra, rb in exact:
+            if ra != rb:
+                return Divergence(
+                    -1,
+                    "telemetry",
+                    f"{label} {sub}: {ra!r} != {rb!r}",
+                    scheme,
+                    policy,
+                )
+        if not math.isclose(rh.sum_us, vh.sum_us, rel_tol=1e-9, abs_tol=1e-6):
+            return Divergence(
+                -1,
+                "telemetry",
+                f"{label} hist sum_us: {rh.sum_us!r} != {vh.sum_us!r}",
+                scheme,
+                policy,
+            )
+    if metrics:
+        rm, vm = meters["reference"], meters["vectorized"]
+        counter_pairs = [("requests counter", rm.requests, vm.requests)]
+        counter_pairs += [
+            (f"device {i} requests", ra, rb)
+            for i, (ra, rb) in enumerate(zip(rm._device_req, vm._device_req))
+        ]
+        counter_pairs += [
+            (f"tenant {i} requests", ra, rb)
+            for i, (ra, rb) in enumerate(zip(rm._tenant_req, vm._tenant_req))
+        ]
+        for label, ra, rb in counter_pairs:
+            if ra.value != rb.value:
+                return Divergence(
+                    -1,
+                    "metrics",
+                    f"{label}: {ra.value!r} != {rb.value!r}",
+                    scheme,
+                    policy,
+                )
+        hist_pairs = [("latency", rm.latency.hist, vm.latency.hist)]
+        hist_pairs += [
+            (f"device {i} latency", rh, vh)
+            for i, (rh, vh) in enumerate(zip(rm._device_hist, vm._device_hist))
+        ]
+        hist_pairs += [
+            (f"tenant {i} latency", rh, vh)
+            for i, (rh, vh) in enumerate(zip(rm._tenant_hist, vm._tenant_hist))
+        ]
+        for label, rh, vh in hist_pairs:
+            if not np.array_equal(rh.counts, vh.counts):
+                return Divergence(
+                    -1,
+                    "metrics",
+                    f"{label} histogram bucket counts differ",
+                    scheme,
+                    policy,
+                )
+            for sub, ra, rb in (
+                ("hist total", rh.total, vh.total),
+                ("hist max_us", rh.max_us, vh.max_us),
+            ):
+                if ra != rb:
+                    return Divergence(
+                        -1,
+                        "metrics",
+                        f"{label} {sub}: {ra!r} != {rb!r}",
+                        scheme,
+                        policy,
+                    )
+            if not math.isclose(
+                rh.sum_us, vh.sum_us, rel_tol=1e-9, abs_tol=1e-6
+            ):
+                return Divergence(
+                    -1,
+                    "metrics",
+                    f"{label} hist sum_us: {rh.sum_us!r} != {vh.sum_us!r}",
+                    scheme,
+                    policy,
+                )
+    return None
+
+
 def make_array_divergence_predicate(
     devices: int = 4,
     scheme: str = "cagc",
@@ -161,5 +399,6 @@ __all__ = [
     "ARRAY_DEVICE_COUNTS",
     "array_pages_per_device",
     "diff_array",
+    "diff_array_kernels",
     "make_array_divergence_predicate",
 ]

@@ -32,7 +32,7 @@ from repro.ftl.wear import WearStats
 #: v2: GCCounters gained per-phase busy-time fields (gc_read_us, ...).
 #: v3: array results (kind="array": per-device results + SLO histograms).
 #: v4: optional metrics snapshot (final values + columnar time series).
-SCHEMA_VERSION = 4
+SCHEMA_VERSION = 5
 
 
 class SchemaMismatchError(RuntimeError):
@@ -146,6 +146,7 @@ def _array_result_to_bytes(result) -> bytes:
         "ncq_held": list(result.ncq_held),
         "coord_stats": result.coord_stats,
         "kernel_fallback_reason": result.kernel_fallback_reason,
+        "kernel_gc": [dict(stats) for stats in result.kernel_gc],
         "devices": [_run_result_meta(r) for r in result.devices],
         "metrics": _metrics_meta(result.metrics),
     }
@@ -219,5 +220,8 @@ def _array_result_from_archive(meta: dict, archive):
         ncq_held=tuple(meta["ncq_held"]),
         coord_stats=meta["coord_stats"],
         kernel_fallback_reason=meta["kernel_fallback_reason"],
+        kernel_gc=tuple(
+            dict(stats) for stats in meta.get("kernel_gc", ())
+        ),
         metrics=_metrics_from_archive(meta.get("metrics"), archive),
     )

@@ -161,16 +161,23 @@ class TestPerDeviceIndependence:
 
 
 class TestKernelFallback:
-    """The array always drives the reference event loop; a vectorized
-    config must fall back *with a reason tag*, never silently."""
+    """Eligible vectorized configs take the epoch kernel untagged;
+    anything outside the epoch model must fall back *with a reason
+    tag*, never silently."""
 
-    def test_fallback_is_reason_tagged(self):
-        from repro.array.device import ARRAY_KERNEL_FALLBACK
-
+    def test_eligible_config_takes_kernel_untagged(self):
         cfg = _config(kernel="vectorized")
         trace = build_fiu_trace("mail", cfg, n_requests=200)
         result = SSDArray([build_scheme("cagc", "greedy", cfg)]).replay(trace)
-        assert result.kernel_fallback_reason == ARRAY_KERNEL_FALLBACK
+        assert result.kernel_fallback_reason is None
+
+    def test_unmodelled_fallback_is_reason_tagged(self):
+        from repro.kernel.arrayepoch import FALLBACK_UNMODELLED
+
+        cfg = _config(kernel="vectorized", gc_mode="preemptive")
+        trace = build_fiu_trace("mail", cfg, n_requests=200)
+        result = SSDArray([build_scheme("cagc", "greedy", cfg)]).replay(trace)
+        assert result.kernel_fallback_reason == FALLBACK_UNMODELLED
 
     def test_reference_config_untagged(self):
         cfg = _config(kernel="reference")

@@ -1,0 +1,329 @@
+"""Epoch-kernel properties and digest identity with the reference array.
+
+Two layers pin ``repro.kernel.arrayepoch`` to the reference event loop:
+
+* **structural properties** (Hypothesis) — the epoch splitter is a true
+  partition of the merged stream that preserves per-device order, and
+  the stable completion merge is barrier-invariant: merging each side
+  of *any* epoch boundary separately and concatenating equals the full
+  merge, so epoch barriers can never reorder cross-device completions;
+* **trajectory identity** — a 4-device / 4-tenant replay produces
+  sha256-identical per-device trajectories on both kernels at NCQ
+  depths {1, 4, 32} under every GC-coordination policy (depth 1 forces
+  the scalar admission-gate replay, depth 32 the analytic counters).
+"""
+
+import hashlib
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.array import SSDArray
+from repro.array.router import RangeRouter
+from repro.config import small_config
+from repro.kernel.arrayepoch import (
+    merge_completions,
+    ncq_occupancy,
+    split_epoch_streams,
+)
+from repro.oracle.diff import build_scheme
+from repro.workloads.fiu import build_fiu_trace
+from repro.workloads.multiplex import multiplex_traces
+from repro.workloads.request import OpKind
+from repro.workloads.trace import Trace
+
+# ------------------------------------------------------------ strategies
+
+
+@st.composite
+def array_traces(draw):
+    """A random routable trace plus the router that owns its space."""
+    devices = draw(st.integers(min_value=1, max_value=4))
+    ppd = draw(st.integers(min_value=4, max_value=32))
+    n = draw(st.integers(min_value=0, max_value=40))
+    router = RangeRouter(devices, ppd)
+    ops = np.array(
+        draw(
+            st.lists(
+                st.sampled_from(
+                    [int(OpKind.WRITE), int(OpKind.READ), int(OpKind.TRIM)]
+                ),
+                min_size=n,
+                max_size=n,
+            )
+        ),
+        dtype=np.uint8,
+    )
+    npages = np.array(
+        draw(st.lists(st.integers(1, 3), min_size=n, max_size=n)),
+        dtype=np.int32,
+    )
+    # Extent start chosen so no request straddles a device boundary.
+    lpns = np.empty(n, dtype=np.int64)
+    for i in range(n):
+        dev = draw(st.integers(0, devices - 1))
+        off = draw(st.integers(0, ppd - int(npages[i])))
+        lpns[i] = dev * ppd + off
+    gaps = np.array(
+        draw(
+            st.lists(
+                st.floats(0.0, 50.0, allow_nan=False), min_size=n, max_size=n
+            )
+        ),
+        dtype=np.float64,
+    )
+    times = np.cumsum(gaps)
+    counts = np.where(ops == int(OpKind.WRITE), npages, 0).astype(np.int64)
+    offsets = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(counts, out=offsets[1:])
+    total = int(offsets[-1])
+    fps = np.array(
+        draw(
+            st.lists(
+                st.integers(1, 40), min_size=total, max_size=total
+            )
+        ),
+        dtype=np.int64,
+    )
+    return router, Trace(times, ops, lpns, npages, fps, offsets, name="hyp")
+
+
+completion_columns = st.lists(
+    st.lists(st.floats(0.0, 100.0, allow_nan=False), max_size=20).map(sorted),
+    max_size=4,
+)
+
+
+# ------------------------------------------------------- property suite
+
+
+class TestSplitterProperties:
+    @settings(deadline=None, max_examples=60)
+    @given(array_traces())
+    def test_split_is_a_partition(self, rt):
+        router, trace = rt
+        splits = split_epoch_streams(router, trace)
+        assert len(splits) == router.devices
+        all_idx = np.concatenate(
+            [idx for _, _, idx in splits]
+        ) if splits else np.zeros(0, dtype=np.int64)
+        # Every merged position lands on exactly one device...
+        assert sorted(all_idx.tolist()) == list(range(len(trace)))
+        for device, (_, _, idx) in enumerate(splits):
+            # ...its home device...
+            assert np.all(trace.lpns[idx] // router.pages_per_device == device)
+            # ...and per-device order is the merged order (stable).
+            assert np.all(np.diff(idx) > 0) or idx.size <= 1
+
+    @settings(deadline=None, max_examples=60)
+    @given(array_traces())
+    def test_split_preserves_rows(self, rt):
+        router, trace = rt
+        for device, (sub, _, idx) in enumerate(split_epoch_streams(router, trace)):
+            assert np.array_equal(sub.times_us, trace.times_us[idx])
+            assert np.array_equal(sub.ops, trace.ops[idx])
+            assert np.array_equal(sub.npages, trace.npages[idx])
+            assert np.array_equal(
+                sub.lpns, trace.lpns[idx] - device * router.pages_per_device
+            )
+            # Fingerprint payloads survive row for row.
+            for k, j in enumerate(idx):
+                assert np.array_equal(
+                    sub.fps_flat[sub.fp_offsets[k] : sub.fp_offsets[k + 1]],
+                    trace.fps_flat[
+                        trace.fp_offsets[j] : trace.fp_offsets[j + 1]
+                    ],
+                )
+
+    @settings(deadline=None, max_examples=80)
+    @given(completion_columns, st.floats(0.0, 100.0, allow_nan=False))
+    def test_barriers_never_reorder_completions(self, columns, barrier):
+        """Merging each side of an arbitrary epoch barrier separately
+        and concatenating equals the one-shot merge — the invariant
+        that makes epoch-at-a-time replay order-safe."""
+        cols = [np.asarray(c, dtype=np.float64) for c in columns]
+        full_t, full_d = merge_completions(cols)
+        before = [c[c <= barrier] for c in cols]
+        after = [c[c > barrier] for c in cols]
+        bt, bd = merge_completions(before)
+        at, ad = merge_completions(after)
+        assert np.array_equal(np.concatenate([bt, at]), full_t)
+        assert np.array_equal(np.concatenate([bd, ad]), full_d)
+
+    @settings(deadline=None, max_examples=80)
+    @given(completion_columns)
+    def test_merge_is_time_sorted_and_device_stable(self, columns):
+        cols = [np.asarray(c, dtype=np.float64) for c in columns]
+        times, devices = merge_completions(cols)
+        assert np.all(np.diff(times) >= 0) or times.size <= 1
+        # Equal-time runs drain in device order (lane scheduling order).
+        for d, col in enumerate(cols):
+            assert np.array_equal(times[devices == d], col)
+        for i in range(1, len(times)):
+            if times[i] == times[i - 1]:
+                assert devices[i] >= devices[i - 1]
+
+
+class TestNCQOccupancy:
+    @settings(deadline=None, max_examples=60)
+    @given(
+        st.lists(st.floats(0.0, 30.0, allow_nan=False), max_size=15).map(sorted),
+        st.data(),
+    )
+    def test_analytic_matches_gate_replay(self, arrivals, data):
+        """An open gate's analytic peak equals a full scalar replay at
+        unbounded depth, and a bounded gate never exceeds its depth."""
+        a = np.asarray(arrivals, dtype=np.float64)
+        durs = [
+            data.draw(st.floats(0.1, 10.0, allow_nan=False))
+            for _ in range(len(arrivals))
+        ]
+        c = np.empty_like(a)
+        t = 0.0
+        for i in range(len(a)):
+            t = max(a[i], t) + durs[i]
+            c[i] = t
+        open_peak, open_held, _ = ncq_occupancy(a, c, depth=10_000)
+        assert open_held == 0
+        for depth in (1, 2, 4):
+            peak, held, scalar = ncq_occupancy(a, c, depth)
+            assert peak <= max(depth, open_peak)
+            if not scalar:
+                assert peak == open_peak and held == 0
+
+
+# -------------------------------------------------- trajectory identity
+
+
+def _trajectory_digest(result, scheme) -> str:
+    h = hashlib.sha256()
+    h.update(result.response_times_us.tobytes())
+    h.update(repr(result.gc).encode())
+    h.update(repr(result.io).encode())
+    h.update(repr(result.wear).encode())
+    h.update(repr(result.simulated_us).encode())
+    h.update(repr(sorted(scheme.state_snapshot().content.items())).encode())
+    return h.hexdigest()
+
+
+def _replay_digests(kernel, coordination, ncq_depth, scheme_name="cagc"):
+    cfg = small_config(
+        blocks=64, pages_per_block=16, gc_mode="blocking", kernel=kernel
+    )
+    tenant_traces = [
+        build_fiu_trace(
+            "mail", cfg, n_requests=500, fill_factor=3.0, seed=700 + t
+        )
+        for t in range(4)
+    ]
+    merged = multiplex_traces(
+        tenant_traces, devices=4, pages_per_device=cfg.logical_pages
+    )
+    schemes = [build_scheme(scheme_name, "greedy", cfg) for _ in range(4)]
+    result = SSDArray(
+        schemes, coordination=coordination, ncq_depth=ncq_depth
+    ).replay(merged)
+    digests = tuple(
+        _trajectory_digest(r, s) for r, s in zip(result.devices, schemes)
+    )
+    return result, digests
+
+
+class TestEpochDigestIdentity:
+    """Epoch replay == reference array loop, digest for digest."""
+
+    @pytest.mark.parametrize(
+        "coordination", ("independent", "staggered", "global-token")
+    )
+    @pytest.mark.parametrize("ncq_depth", (1, 4, 32))
+    def test_identical_across_depths_and_coordinations(
+        self, coordination, ncq_depth
+    ):
+        ref, ref_digests = _replay_digests("reference", coordination, ncq_depth)
+        vec, vec_digests = _replay_digests("vectorized", coordination, ncq_depth)
+        assert vec.kernel_fallback_reason is None
+        assert ref_digests == vec_digests
+        assert ref.ncq_peaks == vec.ncq_peaks
+        assert ref.ncq_held == vec.ncq_held
+        assert ref.coord_stats == vec.coord_stats
+        assert ref.simulated_us == vec.simulated_us
+
+    def test_identical_with_inline_dedupe(self):
+        ref, ref_digests = _replay_digests(
+            "reference", "staggered", 8, scheme_name="inline-dedupe"
+        )
+        vec, vec_digests = _replay_digests(
+            "vectorized", "staggered", 8, scheme_name="inline-dedupe"
+        )
+        assert vec.kernel_fallback_reason is None
+        assert ref_digests == vec_digests
+
+    def test_epoch_kernel_reports_gc_stats(self):
+        vec, _ = _replay_digests("vectorized", "independent", 32)
+        assert len(vec.kernel_gc) == 4
+        assert any(any(stats.values()) for stats in vec.kernel_gc)
+
+
+# ------------------------------------------------------------ metrics
+
+
+def _replay_metered(kernel, coordination):
+    from repro.obs.metrics import ArrayMetrics
+
+    cfg = small_config(
+        blocks=64, pages_per_block=16, gc_mode="blocking", kernel=kernel
+    )
+    tenant_traces = [
+        build_fiu_trace(
+            "mail", cfg, n_requests=300, fill_factor=3.0, seed=700 + t
+        )
+        for t in range(4)
+    ]
+    merged = multiplex_traces(
+        tenant_traces, devices=4, pages_per_device=cfg.logical_pages
+    )
+    schemes = [build_scheme("cagc", "greedy", cfg) for _ in range(4)]
+    metrics = ArrayMetrics()
+    result = SSDArray(
+        schemes, coordination=coordination, ncq_depth=4, metrics=metrics
+    ).replay(merged)
+    return result, metrics
+
+
+class TestMetricsEquivalence:
+    """An attached ArrayMetrics bundle stays observational on the epoch
+    kernel: the run remains kernel-eligible, and every kernel-independent
+    aggregate — the global request counter and latency histogram plus all
+    per-device and per-tenant children — matches the reference loop's
+    per-completion accounting (bucket counts / totals / maxima exactly,
+    sums to float fold-order tolerance).  Time-series sample counts are
+    deliberately not compared: the kernels clock the recorder differently
+    (per completion vs per batch boundary) by design.
+    """
+
+    @pytest.mark.parametrize(
+        "coordination", ("independent", "staggered", "global-token")
+    )
+    def test_aggregates_match_reference(self, coordination):
+        ref, rm = _replay_metered("reference", coordination)
+        vec, vm = _replay_metered("vectorized", coordination)
+        assert vec.kernel_fallback_reason is None
+        assert vec.metrics is not None
+        assert vm.kernel_batches.value > 0
+        assert rm.requests.value == vm.requests.value
+        for ra, rb in zip(
+            rm._device_req + rm._tenant_req, vm._device_req + vm._tenant_req
+        ):
+            assert ra.value == rb.value
+        pairs = [(rm.latency.hist, vm.latency.hist)]
+        pairs += list(
+            zip(rm._device_hist + rm._tenant_hist,
+                vm._device_hist + vm._tenant_hist)
+        )
+        for rh, vh in pairs:
+            assert np.array_equal(rh.counts, vh.counts)
+            assert rh.total == vh.total
+            assert rh.max_us == vh.max_us
+            assert rh.sum_us == pytest.approx(vh.sum_us, rel=1e-9, abs=1e-6)
